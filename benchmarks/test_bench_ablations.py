@@ -1,0 +1,75 @@
+"""Experiments ``flag_passing_ablation``, ``rewind_ablation``, ``hash_length_ablation``
+and the chunk-size trade-off.
+
+Paper claims being made measurable:
+
+* §1.2 — without network-wide coordination (flag passing), a single early
+  error on a line wastes far more communication before it is corrected.
+* §3.1(iv) — the rewind phase is what propagates corrections to links whose
+  transcripts agree pairwise but were computed from stale data; without it
+  the simulation fails or needs many more iterations.
+* §1.2 "our techniques" — constant-size hashes suffice against oblivious
+  noise; very short hashes start failing (hash collisions go undetected),
+  longer hashes trade rate for robustness.
+* scheme presets — larger chunks amortise control traffic (better rate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    chunk_size_ablation,
+    flag_passing_ablation,
+    hash_length_ablation,
+    rewind_ablation,
+    single_error_cost,
+)
+
+
+def test_flag_passing_reduces_recovery_cost(benchmark, run_once):
+    rows = run_once(benchmark, flag_passing_ablation, num_nodes=6, blocks=3, errors=2, trials=2)
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    with_flags, without_flags = rows
+    assert with_flags.success_rate >= without_flags.success_rate
+    assert with_flags.mean_iterations <= without_flags.mean_iterations
+    assert with_flags.mean_overhead <= without_flags.mean_overhead * 1.05
+
+
+def test_single_error_cost_with_and_without_flag_passing(benchmark, run_once):
+    def experiment():
+        return single_error_cost(enable_flag_passing=True), single_error_cost(enable_flag_passing=False)
+
+    with_flags, without_flags = run_once(benchmark, experiment)
+    benchmark.extra_info["with_flags"] = with_flags
+    benchmark.extra_info["without_flags"] = without_flags
+    assert with_flags["noisy_success"] == 1.0
+    assert with_flags["extra_overhead"] <= without_flags["extra_overhead"]
+
+
+def test_rewind_phase_is_needed(benchmark, run_once):
+    rows = run_once(benchmark, rewind_ablation, num_nodes=6, blocks=3, errors=2, trials=2)
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    rewind_on, rewind_off = rows
+    assert rewind_on.success_rate == 1.0
+    assert rewind_on.success_rate > rewind_off.success_rate or rewind_on.mean_iterations < rewind_off.mean_iterations
+
+
+def test_hash_length_tradeoff(benchmark, run_once):
+    rows = run_once(
+        benchmark, hash_length_ablation, hash_bits_grid=(2, 8, 16), num_nodes=5, phases=10, trials=2
+    )
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    by_bits = {int(row.extra["hash_bits"]): row for row in rows}
+    # longer hashes never hurt correctness and 8+ bits are reliably enough here
+    assert by_bits[8].success_rate == 1.0
+    assert by_bits[16].success_rate == 1.0
+    assert by_bits[16].success_rate >= by_bits[2].success_rate
+
+
+def test_chunk_size_rate_tradeoff(benchmark, run_once):
+    rows = run_once(benchmark, chunk_size_ablation, multiplier_grid=(2, 5, 20), num_nodes=5, phases=16, trials=1)
+    benchmark.extra_info["rows"] = [row.as_dict() for row in rows]
+    overheads = [row.mean_overhead for row in rows]
+    assert overheads[0] > overheads[1] > overheads[2], "bigger chunks must amortise control traffic"
+    assert all(row.success_rate == 1.0 for row in rows)

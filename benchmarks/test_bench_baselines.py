@@ -1,0 +1,62 @@
+"""Experiment ``baseline_failure``: the motivation of §1.
+
+Paper claim (motivation): ordinary protocols break under insertion/deletion
+noise; simple per-bit redundancy is not a substitute for interactive coding;
+and merely converting a sparse protocol to the fully-utilised model (required
+by earlier schemes) already multiplies the communication by up to m.
+
+Shape we assert: the uncoded protocol fails under a handful of targeted
+errors that Algorithm A absorbs; repetition coding fails under a targeted
+burst; the fully-utilised conversion overhead equals 2m for the sparse
+aggregation workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.strategies import LinkTargetedAdversary
+from repro.baselines.fully_utilized import fully_utilized_overhead
+from repro.baselines.repetition import run_repetition
+from repro.baselines.uncoded import run_uncoded
+from repro.core.engine import simulate
+from repro.core.parameters import algorithm_a
+from repro.experiments.workloads import aggregation_workload, gossip_workload
+
+
+def _burst(seed: int, errors: int = 3) -> LinkTargetedAdversary:
+    return LinkTargetedAdversary(
+        target=(1, 0), phases=("simulation", "baseline"), max_corruptions=errors, seed=seed
+    )
+
+
+def test_uncoded_fails_where_algorithm_a_succeeds(benchmark, run_once):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=10, seed=0)
+
+    def experiment():
+        uncoded = run_uncoded(workload.protocol, adversary=_burst(1))
+        coded = simulate(workload.protocol, scheme=algorithm_a(), adversary=_burst(1), seed=5)
+        return uncoded, coded
+
+    uncoded, coded = run_once(benchmark, experiment)
+    benchmark.extra_info["uncoded_success"] = uncoded.success
+    benchmark.extra_info["coded_success"] = coded.success
+    benchmark.extra_info["coded_overhead"] = coded.overhead
+    assert not uncoded.success
+    assert coded.success
+
+
+def test_repetition_fails_under_targeted_burst(benchmark, run_once):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=10, seed=0)
+    result = run_once(benchmark, run_repetition, workload.protocol, adversary=_burst(2), repetitions=3)
+    benchmark.extra_info["success"] = result.success
+    benchmark.extra_info["overhead"] = result.metrics.overhead
+    assert not result.success
+    assert result.metrics.overhead == pytest.approx(3.0)
+
+
+def test_fully_utilised_conversion_cost(benchmark, run_once):
+    workload = aggregation_workload(topology="line", num_nodes=6, value_bits=6, seed=0)
+    conversion = run_once(benchmark, fully_utilized_overhead, workload.protocol)
+    benchmark.extra_info["conversion_overhead"] = conversion.overhead
+    assert conversion.overhead == pytest.approx(2 * workload.graph.num_edges)

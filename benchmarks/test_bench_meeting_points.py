@@ -1,0 +1,56 @@
+"""Experiment ``meeting_points_convergence``: cost of the per-link correction.
+
+Paper claim (§4.2 / Appendix A): the meeting-points mechanism lets two
+parties whose transcripts diverge by B chunks reconverge within O(B) hash
+exchanges, truncating at most O(B) chunks beyond the common prefix.
+
+Shape we assert: for synthetic divergences B ∈ {1, 2, 4} the number of
+exchanges needed grows roughly linearly (well within a 8·B + 8 envelope) and
+the truncation overshoot stays bounded.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.meeting_points import STATUS_SIMULATE, MeetingPointsSession
+from repro.core.transcript import ChunkRecord, LinkTranscript
+from repro.hashing.inner_product import InnerProductHash
+from repro.hashing.seeds import CrsSeedSource
+
+
+def _transcript(owner, neighbor, payloads):
+    transcript = LinkTranscript(owner, neighbor)
+    for index, payload in enumerate(payloads, start=1):
+        transcript.append(ChunkRecord(chunk_index=index, link_view=payload))
+    return transcript
+
+
+def _converge(divergence: int, common_length: int = 8, master_seed: int = 5):
+    common = [(1, 0)] * common_length
+    transcript_u = _transcript(0, 1, common + [(0, 0)] * divergence)
+    transcript_v = _transcript(1, 0, common + [(1, 1)] * divergence)
+    hasher = InnerProductHash(12)
+    session_u = MeetingPointsSession(hasher=hasher, seed_source=CrsSeedSource(master_seed, (0, 1)))
+    session_v = MeetingPointsSession(hasher=hasher, seed_source=CrsSeedSource(master_seed, (0, 1)))
+    for iteration in range(200):
+        message_u = session_u.build_message(iteration, transcript_u)
+        message_v = session_v.build_message(iteration, transcript_v)
+        outcome_u = session_u.process_reply(iteration, transcript_u, message_v)
+        outcome_v = session_v.process_reply(iteration, transcript_v, message_u)
+        if outcome_u.truncate_to is not None:
+            transcript_u.truncate_to(outcome_u.truncate_to)
+        if outcome_v.truncate_to is not None:
+            transcript_v.truncate_to(outcome_v.truncate_to)
+        if outcome_u.status == STATUS_SIMULATE and outcome_v.status == STATUS_SIMULATE:
+            return iteration + 1, common_length - len(transcript_u)
+    raise AssertionError("meeting points did not converge")
+
+
+@pytest.mark.parametrize("divergence", [1, 2, 4])
+def test_convergence_cost_scales_with_divergence(benchmark, run_once, divergence):
+    phases, overshoot = run_once(benchmark, _converge, divergence)
+    benchmark.extra_info["phases"] = phases
+    benchmark.extra_info["overshoot_chunks"] = overshoot
+    assert phases <= 8 * divergence + 8
+    assert overshoot <= 2 * divergence + 2

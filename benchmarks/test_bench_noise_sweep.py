@@ -1,0 +1,38 @@
+"""Experiment ``thm1_1_success``: success probability around the nominal noise level.
+
+Paper claim (Theorem 1.1): Algorithm A succeeds with probability
+1 − exp(−Ω(|Π|)) as long as at most an ε/m fraction of the communication is
+corrupted (for sufficiently small ε).
+
+Shape we assert: the empirical success rate is 1.0 at and below the nominal
+level and collapses far above it (the crossover sits at some multiplier > 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+from repro.core.parameters import crs_oblivious_scheme
+from repro.experiments.noise_sweep import crossover_multiplier, noise_sweep
+from repro.experiments.workloads import gossip_workload
+
+
+def test_success_vs_noise_curve(benchmark, run_once):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=10, seed=0)
+    points = run_once(
+        benchmark,
+        noise_sweep,
+        workload,
+        crs_oblivious_scheme(),
+        multipliers=(0.5, 1.0, 16.0, 64.0),
+        trials=2,
+    )
+    benchmark.extra_info["curve"] = [point.as_dict() for point in points]
+
+    by_multiplier = {point.multiplier: point for point in points}
+    assert by_multiplier[0.5].success_rate == 1.0
+    assert by_multiplier[1.0].success_rate == 1.0
+    assert by_multiplier[64.0].success_rate == 0.0
+    crossover = crossover_multiplier(points)
+    assert crossover is not None and crossover > 1.0

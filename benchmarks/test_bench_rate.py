@@ -1,0 +1,64 @@
+"""Experiment ``thm1_1_rate``: constant communication rate (Theorem 1.1).
+
+Paper claim: the simulated protocol communicates O(CC(Π)) bits — the overhead
+factor does not grow with the length of the underlying protocol, nor
+(as a rate) with the size of the network.
+
+Shape we assert: tripling/sextupling CC(Π) does not increase the overhead
+(it typically decreases as fixed costs amortise), and the overhead across
+network sizes stays within a constant band.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+from repro.core.parameters import algorithm_a, crs_oblivious_scheme
+from repro.experiments.theorem_validation import rate_vs_network_size, rate_vs_protocol_size
+
+
+def test_overhead_flat_in_protocol_size(benchmark, run_once):
+    points = run_once(
+        benchmark,
+        rate_vs_protocol_size,
+        crs_oblivious_scheme(),
+        phases_grid=(8, 24, 48),
+        topology="clique",
+        num_nodes=5,
+        trials=1,
+    )
+    benchmark.extra_info["series"] = [point.as_dict() for point in points]
+    assert all(point.success_rate == 1.0 for point in points)
+    overheads = [point.overhead for point in points]
+    assert overheads[-1] <= overheads[0] * 1.25, "overhead must not grow with CC(Pi)"
+
+
+def test_overhead_flat_in_protocol_size_with_noise(benchmark, run_once):
+    points = run_once(
+        benchmark,
+        rate_vs_protocol_size,
+        algorithm_a(),
+        phases_grid=(8, 32),
+        topology="line",
+        num_nodes=5,
+        trials=1,
+        noisy=True,
+    )
+    benchmark.extra_info["series"] = [point.as_dict() for point in points]
+    assert points[-1].overhead <= points[0].overhead * 1.5
+
+
+def test_rate_constant_across_network_sizes(benchmark, run_once):
+    points = run_once(
+        benchmark,
+        rate_vs_network_size,
+        crs_oblivious_scheme(),
+        node_grid=(4, 6, 8),
+        topology="line",
+        phases=12,
+        trials=1,
+    )
+    benchmark.extra_info["series"] = [point.as_dict() for point in points]
+    overheads = [point.overhead for point in points]
+    assert max(overheads) / min(overheads) < 3.0, "the rate must stay Theta(1) as m grows"

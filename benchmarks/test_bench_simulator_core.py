@@ -1,0 +1,42 @@
+"""Throughput benchmarks of the simulator itself (not tied to one paper table).
+
+These give a reference point for how expensive one noise-resilient simulation
+is for each scheme preset on a small workload, and they double as regression
+guards: every benchmarked run must succeed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.strategies import RandomNoiseAdversary
+from repro.core.engine import simulate
+from repro.core.parameters import algorithm_a, algorithm_b, algorithm_c, crs_oblivious_scheme
+from repro.experiments.workloads import aggregation_workload, gossip_workload
+
+
+@pytest.mark.parametrize(
+    "scheme_factory", [crs_oblivious_scheme, algorithm_a, algorithm_c], ids=["crs", "algorithm_a", "algorithm_c"]
+)
+def test_simulate_gossip_noiseless(benchmark, run_once, scheme_factory):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=12, seed=0)
+    result = run_once(benchmark, simulate, workload.protocol, scheme=scheme_factory(), seed=1)
+    benchmark.extra_info["overhead"] = result.overhead
+    assert result.success
+
+
+def test_simulate_gossip_algorithm_b_under_noise(benchmark, run_once):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=8, seed=0)
+    scheme = algorithm_b()
+    fraction = scheme.nominal_noise_fraction(workload.graph)
+    adversary = RandomNoiseAdversary(corruption_probability=fraction, seed=2)
+    result = run_once(benchmark, simulate, workload.protocol, scheme=scheme, adversary=adversary, seed=2)
+    benchmark.extra_info["overhead"] = result.overhead
+    assert result.success
+
+
+def test_simulate_sparse_aggregation(benchmark, run_once):
+    workload = aggregation_workload(topology="grid", num_nodes=9, value_bits=8, seed=0)
+    result = run_once(benchmark, simulate, workload.protocol, scheme=crs_oblivious_scheme(), seed=3)
+    benchmark.extra_info["overhead"] = result.overhead
+    assert result.success

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a small distributed computation against channel noise.
+
+Five parties on a line network run a parity-gossip protocol.  We first run it
+over a clean network, then over a network whose links suffer adversarial
+insertions, deletions and substitutions — once without protection (the
+computation silently breaks) and once through Algorithm A of Gelles–Kalai–
+Ramnarayan (the computation survives, at a constant-factor communication
+cost).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import algorithm_a, simulate
+from repro.adversary import RandomNoiseAdversary
+from repro.baselines import run_uncoded
+from repro.network import line_topology
+from repro.protocols import ParityGossipProtocol
+
+
+def main() -> None:
+    # A 5-party line network: 0 - 1 - 2 - 3 - 4.
+    graph = line_topology(5)
+    inputs = {party: party % 2 for party in range(5)}
+    protocol = ParityGossipProtocol(graph, inputs, phases=8)
+    print(f"protocol: parity gossip, CC(Pi) = {protocol.communication_complexity()} bits "
+          f"over {graph.num_edges} links")
+
+    # Adversarial noise: random substitutions, deletions and occasional insertions.
+    def fresh_adversary(seed: int) -> RandomNoiseAdversary:
+        return RandomNoiseAdversary(
+            corruption_probability=0.003, insertion_probability=0.001, seed=seed
+        )
+
+    # 1. Unprotected execution over the noisy network.
+    baseline = run_uncoded(protocol, adversary=fresh_adversary(1))
+    print(f"\nuncoded over noisy network : success={baseline.success} "
+          f"(corruptions={baseline.metrics.corruptions})")
+
+    # 2. The same computation through the interactive coding scheme.
+    result = simulate(protocol, scheme=algorithm_a(), adversary=fresh_adversary(1), seed=7)
+    print(f"Algorithm A over noisy net : success={result.success} "
+          f"(corruptions={result.metrics.corruptions}, "
+          f"overhead={result.overhead:.1f}x, "
+          f"noise fraction={result.noise_fraction:.4f})")
+
+    print("\nper-phase communication of the coded run:")
+    for phase, bits in sorted(result.metrics.communication_by_phase.items()):
+        print(f"  {phase:20s} {bits:8d} bits")
+
+    assert result.success, "the coded simulation should have succeeded"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Regenerate Table 1 of the paper (scheme comparison).
+
+The analytical rows quote the guarantees of the prior schemes exactly as the
+paper does (they have no efficient implementations to run); the measured rows
+execute Algorithms A, B and C and the uncoded / repetition baselines on each
+topology at that scheme's nominal noise level and report the observed rate
+and success probability.
+
+Run with:  python examples/reproduce_table1.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import TABLE1_COLUMNS, build_table1, format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="fewer topologies and trials")
+    parser.add_argument("--nodes", type=int, default=5, help="parties per topology")
+    parser.add_argument("--trials", type=int, default=2, help="randomised trials per cell")
+    args = parser.parse_args()
+
+    topologies = ("line",) if args.quick else ("line", "star", "clique")
+    trials = 1 if args.quick else args.trials
+
+    rows = build_table1(
+        topologies=topologies,
+        num_nodes=args.nodes,
+        phases=10 if args.quick else 12,
+        trials=trials,
+        include_analytical=True,
+    )
+    print(format_table(rows, TABLE1_COLUMNS))
+    print(
+        "\nReading guide: the three Algorithm rows should show success_rate 1.0 at their"
+        "\nnominal noise level with a bounded (constant) overhead, while the uncoded and"
+        "\nrepetition baselines fail under the same adversarial insertion/deletion noise."
+    )
+
+
+if __name__ == "__main__":
+    main()

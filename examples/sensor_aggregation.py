@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Domain scenario: in-network sensor aggregation over an unreliable mesh.
+
+A 3x3 grid of sensor nodes computes the sum of their readings by convergecast
+up a spanning tree and broadcast back down — the classic sparse distributed
+computation that the paper's non-fully-utilised model is designed for.  The
+radio links suffer insertion/deletion/substitution noise.  We compare:
+
+* the unprotected protocol (wrong sums),
+* per-bit repetition coding (better, but 3x the traffic and still breakable
+  by targeted bursts),
+* Algorithm A (correct sums at every node, constant-factor overhead), and
+* the cost of first converting the protocol to a fully-utilised one, which is
+  what earlier schemes would require.
+
+Run with:  python examples/sensor_aggregation.py
+"""
+
+from __future__ import annotations
+
+from repro import algorithm_a, simulate
+from repro.adversary import CompositeAdversary, LinkTargetedAdversary, RandomNoiseAdversary
+from repro.baselines import fully_utilized_overhead, run_repetition, run_uncoded
+from repro.network import grid_topology
+from repro.protocols import AggregationProtocol
+from repro.utils.rng import make_rng
+
+
+def make_adversary(seed: int) -> CompositeAdversary:
+    """Background radio noise plus a short targeted burst on one busy link."""
+    return CompositeAdversary(
+        components=(
+            RandomNoiseAdversary(corruption_probability=0.001, insertion_probability=0.00025, seed=seed),
+            LinkTargetedAdversary(target=(0, 1), phases=("simulation", "baseline"),
+                                  max_corruptions=3, seed=seed + 1),
+        )
+    )
+
+
+def main() -> None:
+    graph = grid_topology(3, 3)
+    rng = make_rng(42)
+    readings = {node: rng.randrange(0, 200) for node in graph.nodes}
+    protocol = AggregationProtocol(graph, readings, value_bits=10)
+    expected = protocol.expected_total()
+    print(f"3x3 sensor grid, {graph.num_edges} links, expected total = {expected}, "
+          f"CC(Pi) = {protocol.communication_complexity()} bits")
+
+    uncoded = run_uncoded(protocol, adversary=make_adversary(1))
+    wrong = [party for party, value in uncoded.outputs.items() if value != expected]
+    print(f"\nuncoded      : success={uncoded.success}; nodes with a wrong sum: {wrong}")
+
+    repetition = run_repetition(protocol, adversary=make_adversary(1), repetitions=3)
+    print(f"repetition(3): success={repetition.success}; overhead={repetition.metrics.overhead:.1f}x")
+
+    coded = simulate(protocol, scheme=algorithm_a(), adversary=make_adversary(1), seed=11)
+    print(f"Algorithm A  : success={coded.success}; overhead={coded.overhead:.1f}x; "
+          f"corruptions absorbed={coded.metrics.corruptions}")
+
+    conversion = fully_utilized_overhead(protocol)
+    print(f"\nfor reference, merely converting this sparse protocol to a fully-utilised one"
+          f"\n(as earlier multiparty schemes require) already costs {conversion.overhead:.1f}x "
+          f"({conversion.converted_communication} bits) before any coding is applied")
+
+    assert coded.success
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed in editable mode on machines without the
+``wheel`` package (legacy ``setup.py develop`` path used by
+``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

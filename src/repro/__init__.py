@@ -1,0 +1,57 @@
+"""repro — a reproduction of "Efficient Multiparty Interactive Coding for
+Insertions, Deletions and Substitutions" (Gelles, Kalai, Ramnarayan, PODC 2019).
+
+The package provides:
+
+* :mod:`repro.core` — the noise-resilient simulator (Algorithm 1) and the
+  scheme presets for Algorithm A (no CRS, oblivious noise, ε/m), Algorithm B
+  (no CRS, non-oblivious noise, ε/(m log m)) and Algorithm C (CRS,
+  non-oblivious noise, ε/(m log log m));
+* :mod:`repro.network` — the synchronous noisy-network substrate;
+* :mod:`repro.adversary` — insertion/deletion/substitution noise models;
+* :mod:`repro.protocols` — noiseless protocols Π with fixed speaking order;
+* :mod:`repro.hashing`, :mod:`repro.coding` — inner-product hashes, δ-biased
+  strings and the error-correcting code used by the randomness exchange;
+* :mod:`repro.baselines`, :mod:`repro.experiments`, :mod:`repro.analysis` —
+  baselines, the Table-1 harness and theorem-validation sweeps.
+
+Quick start::
+
+    from repro import simulate, algorithm_a
+    from repro.network import line_topology
+    from repro.protocols import ParityGossipProtocol
+    from repro.adversary import RandomNoiseAdversary
+
+    graph = line_topology(5)
+    protocol = ParityGossipProtocol(graph, {i: i % 2 for i in range(5)}, phases=8)
+    adversary = RandomNoiseAdversary(corruption_probability=0.002, seed=1)
+    result = simulate(protocol, scheme=algorithm_a(), adversary=adversary, seed=7)
+    assert result.success
+"""
+
+from repro.core import (
+    InteractiveCodingSimulator,
+    SchemeParameters,
+    SimulationResult,
+    algorithm_a,
+    algorithm_b,
+    algorithm_c,
+    crs_oblivious_scheme,
+    scheme_by_name,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "InteractiveCodingSimulator",
+    "SchemeParameters",
+    "SimulationResult",
+    "algorithm_a",
+    "algorithm_b",
+    "algorithm_c",
+    "crs_oblivious_scheme",
+    "scheme_by_name",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Noise models: oblivious and non-oblivious adversaries plus budgeting."""
+
+from repro.adversary.base import Adversary, NoiseBudget, NoiselessAdversary
+from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
+from repro.adversary.strategies import (
+    BurstAdversary,
+    CompositeAdversary,
+    DeletionAdversary,
+    EchoSpoofingAdversary,
+    LinkTargetedAdversary,
+    PhaseTargetedAdaptiveAdversary,
+    RandomNoiseAdversary,
+    RotatingLinkAdaptiveAdversary,
+)
+
+__all__ = [
+    "Adversary",
+    "NoiseBudget",
+    "NoiselessAdversary",
+    "AdditiveObliviousAdversary",
+    "FixingObliviousAdversary",
+    "BurstAdversary",
+    "CompositeAdversary",
+    "DeletionAdversary",
+    "EchoSpoofingAdversary",
+    "LinkTargetedAdversary",
+    "PhaseTargetedAdaptiveAdversary",
+    "RandomNoiseAdversary",
+    "RotatingLinkAdaptiveAdversary",
+]

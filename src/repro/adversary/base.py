@@ -1,0 +1,117 @@
+"""Adversary interface and noise-budget bookkeeping.
+
+The paper distinguishes:
+
+* **oblivious** adversaries — the noise pattern is fixed before the protocol
+  starts, independently of the parties' randomness (the *additive* adversary
+  of §2.1 and the *fixing* adversary of Remark 1);
+* **non-oblivious** adversaries — the noise may adapt to everything observed
+  on the wire (but not to private coins tossed later).
+
+All of them implement :class:`Adversary`: the noisy transport consults the
+adversary once per channel slot (one round, one directed link) and the
+adversary returns what the receiver should see.  Corruption accounting is
+done by the transport, not by the adversary, so an adversary cannot
+under-report its own noise.
+
+The theorems bound the noise as a *fraction of the actual communication* of
+the executed instance, which is not known in advance.  :class:`NoiseBudget`
+implements that accounting: adaptive adversaries ask it whether another
+corruption would keep them within ``fraction * transmissions_so_far`` (plus
+an optional absolute allowance), mirroring the "relative noise fraction" of
+adaptive-length settings discussed in §2.1.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.channel import Symbol, TransmissionContext
+
+
+@dataclass
+class NoiseBudget:
+    """Tracks how many corruptions an adversary may still inject.
+
+    Parameters
+    ----------
+    fraction:
+        Maximum allowed ratio ``corruptions / transmissions``.
+    absolute_allowance:
+        Extra corruptions allowed regardless of the fraction (useful for
+        experiments that want "exactly k errors").
+    """
+
+    fraction: float = 0.0
+    absolute_allowance: int = 0
+    transmissions_seen: int = 0
+    corruptions_spent: int = 0
+
+    def observe_transmission(self) -> None:
+        """Record that one symbol was actually transmitted."""
+        self.transmissions_seen += 1
+
+    @property
+    def allowed(self) -> int:
+        """Corruptions permitted so far (floor of fraction * transmissions + allowance)."""
+        return int(self.fraction * self.transmissions_seen) + self.absolute_allowance
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.allowed - self.corruptions_spent)
+
+    def can_spend(self, amount: int = 1) -> bool:
+        return self.corruptions_spent + amount <= self.allowed
+
+    def spend(self, amount: int = 1) -> None:
+        if not self.can_spend(amount):
+            raise RuntimeError(
+                f"noise budget exceeded: spent {self.corruptions_spent}, "
+                f"requested {amount}, allowed {self.allowed}"
+            )
+        self.corruptions_spent += amount
+
+
+class Adversary(abc.ABC):
+    """Base class for all noise models."""
+
+    #: Human-readable name used by experiment reports.
+    name: str = "adversary"
+
+    #: Whether the adversary commits to its noise before seeing the execution.
+    oblivious: bool = True
+
+    #: Whether the adversary may deliver symbols on slots where the sender was
+    #: silent (insertions).  Transports may skip consulting the adversary on
+    #: silent slots when this is ``False``, which is a pure optimisation: a
+    #: non-inserting adversary maps silence to silence anyway.
+    may_insert: bool = True
+
+    @abc.abstractmethod
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        """Return the symbol delivered to the receiver for this slot.
+
+        ``sent`` is the symbol the sender put on the wire (``None`` if the
+        sender stayed silent).  Returning ``sent`` unchanged means "no
+        corruption"; any other value is an insertion, deletion or
+        substitution and will be charged by the transport's statistics.
+        """
+
+    def notify_delivery(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
+        """Hook called after every slot; adaptive adversaries may record state."""
+
+    def reset(self) -> None:
+        """Reset mutable state so the same adversary object can be reused."""
+
+
+class NoiselessAdversary(Adversary):
+    """The identity channel: never corrupts anything."""
+
+    name = "noiseless"
+    oblivious = True
+    may_insert = False
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        return sent

@@ -1,0 +1,102 @@
+"""Oblivious adversaries.
+
+An oblivious adversary (paper §2.1) fixes its entire noise attack before the
+protocol starts, independently of the parties' inputs and randomness.  The
+paper's primary model is the **additive** adversary: the noise pattern is a
+vector ``e`` indexed by (round, directed link) with entries in ``{0, 1, 2}``;
+the symbol actually delivered is ``received = sent + e (mod 3)`` over the
+alphabet ``{0, 1, *}``.  Remark 1 also discusses the stronger **fixing**
+adversary, which pins the channel output of a corrupted slot to a
+predetermined value; we implement both.
+
+Because the pattern is indexed by absolute round numbers, an oblivious
+adversary has no knowledge of what the slot carries — exactly the oblivious
+guarantee the analysis of Section 4 relies on.
+
+Concrete pattern generators (uniformly random slots, bursts on one link,
+attacks on the randomness-exchange prefix, ...) live in
+:mod:`repro.adversary.strategies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.adversary.base import Adversary
+from repro.network.channel import Symbol, TransmissionContext, apply_additive_noise
+
+#: Key of one channel slot in an oblivious noise pattern.
+SlotKey = Tuple[int, int, int]  # (round_index, sender, receiver)
+
+
+def slot_key(ctx: TransmissionContext) -> SlotKey:
+    return (ctx.round_index, ctx.sender, ctx.receiver)
+
+
+@dataclass
+class AdditiveObliviousAdversary(Adversary):
+    """The additive oblivious adversary of §2.1.
+
+    ``pattern`` maps slots to offsets in {1, 2}; absent slots are clean
+    (offset 0).  The number of *intended* corruptions is ``len(pattern)``;
+    note the paper's subtle point that an additive offset always changes the
+    delivered symbol (offset 1 or 2 is never the identity on Z_3), so every
+    pattern entry that is exercised becomes a real corruption.
+    """
+
+    pattern: Dict[SlotKey, int] = field(default_factory=dict)
+    name: str = "oblivious-additive"
+    oblivious: bool = True
+
+    def __post_init__(self) -> None:
+        for key, offset in self.pattern.items():
+            if offset not in (1, 2):
+                raise ValueError(f"pattern offset for slot {key} must be 1 or 2, got {offset}")
+        # Insertions only happen on slots the pattern touches.
+        self.may_insert = bool(self.pattern)
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        offset = self.pattern.get(slot_key(ctx), 0)
+        if offset == 0:
+            return sent
+        return apply_additive_noise(sent, offset)
+
+    def planned_corruptions(self) -> int:
+        return len(self.pattern)
+
+    def reset(self) -> None:  # the pattern is immutable state; nothing to do
+        return None
+
+
+@dataclass
+class FixingObliviousAdversary(Adversary):
+    """The "fixing" oblivious adversary of Remark 1.
+
+    ``pattern`` maps slots to the symbol the receiver will observe (0, 1 or
+    ``None`` for "force silence").  A fixed slot only counts as a corruption
+    if it actually differs from what was sent; this matches the remark's
+    discussion that fixing the channel to the honest value is not an error.
+    """
+
+    pattern: Dict[SlotKey, Symbol] = field(default_factory=dict)
+    name: str = "oblivious-fixing"
+    oblivious: bool = True
+
+    def __post_init__(self) -> None:
+        for key, value in self.pattern.items():
+            if value not in (0, 1, None):
+                raise ValueError(f"pattern value for slot {key} must be 0, 1 or None")
+        self.may_insert = any(value is not None for value in self.pattern.values())
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        key = slot_key(ctx)
+        if key in self.pattern:
+            return self.pattern[key]
+        return sent
+
+    def planned_corruptions(self) -> int:
+        return len(self.pattern)
+
+    def reset(self) -> None:
+        return None

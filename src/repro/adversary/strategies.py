@@ -1,0 +1,385 @@
+"""Concrete noise strategies.
+
+Two families:
+
+* **Content-oblivious strategies** decide whether to corrupt a slot from the
+  slot's coordinates (round, link, phase) and their own pre-seeded RNG only —
+  never from the transmitted symbol or the parties' randomness.  Fixing their
+  RNG seed turns each of them into an explicit oblivious noise pattern in the
+  sense of §2.1 (the pattern could be materialised up front; we evaluate it
+  lazily for convenience).
+* **Adaptive (non-oblivious) strategies** may look at the symbol on the wire
+  and at everything delivered so far, which is exactly the extra power
+  Algorithm B / Algorithm C are designed to resist.
+
+All budgeted strategies spend from a :class:`~repro.adversary.base.NoiseBudget`
+whose allowance grows with the *actual* communication, matching the relative
+noise fraction of the theorems.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.adversary.base import Adversary, NoiseBudget
+from repro.network.channel import Symbol, TransmissionContext
+from repro.utils.rng import make_rng
+
+
+def _flip(symbol: Symbol) -> Symbol:
+    """Substitute a bit; turn silence into an inserted 0."""
+    if symbol is None:
+        return 0
+    return 1 - symbol
+
+
+def _corrupt_randomly(rng: random.Random, symbol: Symbol) -> Symbol:
+    """Pick a uniformly random corruption of ``symbol`` (always a real change)."""
+    if symbol is None:
+        return rng.choice([0, 1])  # insertion
+    return rng.choice([1 - symbol, None])  # substitution or deletion
+
+
+@dataclass
+class RandomNoiseAdversary(Adversary):
+    """Corrupt each transmitted slot independently with a fixed probability.
+
+    This is the natural stochastic instantiation of an oblivious adversary:
+    the coin flips depend only on the slot index and the adversary's own seed.
+    ``insertion_probability`` controls extra insertions on silent slots
+    (0 disables them and lets the transport skip silent slots entirely).
+    """
+
+    corruption_probability: float = 0.0
+    insertion_probability: float = 0.0
+    seed: int = 0
+    budget: Optional[NoiseBudget] = None
+    name: str = "random-noise"
+    oblivious: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.corruption_probability <= 1.0:
+            raise ValueError("corruption_probability must lie in [0, 1]")
+        if not 0.0 <= self.insertion_probability <= 1.0:
+            raise ValueError("insertion_probability must lie in [0, 1]")
+        self._rng = make_rng(self.seed)
+        self.may_insert = self.insertion_probability > 0.0
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if self.budget is not None and sent is not None:
+            self.budget.observe_transmission()
+        probability = self.insertion_probability if sent is None else self.corruption_probability
+        if probability <= 0.0 or self._rng.random() >= probability:
+            return sent
+        if self.budget is not None and not self.budget.can_spend():
+            return sent
+        corrupted = _corrupt_randomly(self._rng, sent)
+        if self.budget is not None:
+            self.budget.spend()
+        return corrupted
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        if self.budget is not None:
+            self.budget.transmissions_seen = 0
+            self.budget.corruptions_spent = 0
+
+
+@dataclass
+class LinkTargetedAdversary(Adversary):
+    """Concentrate the noise on one directed link.
+
+    Optionally restricted to a set of phases (for instance only the
+    ``"simulation"`` phase, or only the ``"randomness_exchange"`` prefix —
+    the attack Section 5 must defend against).  Content-oblivious.
+
+    The attack is bounded either by a relative ``fraction`` of the realised
+    communication (the theorems' noise model) or by an absolute
+    ``max_corruptions`` (useful for "exactly k errors" experiments); when
+    ``max_corruptions`` is set it is the only limit that applies.
+    """
+
+    target: Tuple[int, int] = (0, 1)
+    fraction: float = 0.0
+    phases: Optional[Sequence[str]] = None
+    corruption_probability: float = 1.0
+    max_corruptions: Optional[int] = None
+    seed: int = 0
+    name: str = "link-targeted"
+    oblivious: bool = True
+    may_insert: bool = False
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._spent = 0
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is not None:
+            self._budget.observe_transmission()
+        if (ctx.sender, ctx.receiver) != self.target:
+            return sent
+        if self.phases is not None and ctx.phase not in self.phases:
+            return sent
+        if sent is None:
+            return sent
+        if self._rng.random() >= self.corruption_probability:
+            return sent
+        if self.max_corruptions is not None:
+            if self._spent >= self.max_corruptions:
+                return sent
+        elif not self._budget.can_spend():
+            return sent
+        if self.max_corruptions is None:
+            self._budget.spend()
+        self._spent += 1
+        return _corrupt_randomly(self._rng, sent)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._spent = 0
+
+
+@dataclass
+class BurstAdversary(Adversary):
+    """Corrupt every transmission inside a window of absolute rounds.
+
+    Models the "all the noise lands in one short interval" worst case; the
+    total damage is still capped by ``max_corruptions`` so experiments can
+    relate it to a noise fraction after the fact.
+    """
+
+    start_round: int = 0
+    end_round: int = 0
+    max_corruptions: int = 0
+    seed: int = 0
+    name: str = "burst"
+    oblivious: bool = True
+    may_insert: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end_round < self.start_round:
+            raise ValueError("end_round must be >= start_round")
+        self._rng = make_rng(self.seed)
+        self._spent = 0
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is None:
+            return sent
+        if not self.start_round <= ctx.round_index <= self.end_round:
+            return sent
+        if self._spent >= self.max_corruptions:
+            return sent
+        self._spent += 1
+        return _corrupt_randomly(self._rng, sent)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._spent = 0
+
+
+@dataclass
+class DeletionAdversary(Adversary):
+    """Delete each transmitted symbol independently with a fixed probability.
+
+    Useful for isolating the insertion/deletion aspect of the noise model
+    (e.g. to show that baselines relying purely on timing fail).
+    """
+
+    deletion_probability: float = 0.0
+    seed: int = 0
+    budget: Optional[NoiseBudget] = None
+    name: str = "deletion"
+    oblivious: bool = True
+    may_insert: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.deletion_probability <= 1.0:
+            raise ValueError("deletion_probability must lie in [0, 1]")
+        self._rng = make_rng(self.seed)
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is None:
+            return sent
+        if self.budget is not None:
+            self.budget.observe_transmission()
+        if self._rng.random() >= self.deletion_probability:
+            return sent
+        if self.budget is not None:
+            if not self.budget.can_spend():
+                return sent
+            self.budget.spend()
+        return None
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+
+
+@dataclass
+class CompositeAdversary(Adversary):
+    """Apply several adversaries in sequence to every slot.
+
+    Each component sees the (possibly already corrupted) symbol produced by
+    the previous one; the composite is oblivious only if every component is.
+    Useful for combining a background noise floor with a targeted attack —
+    e.g. the Table 1 harness pairs random insertion/deletion noise with a
+    short burst on one link so that baselines face at least a few guaranteed
+    errors.
+    """
+
+    components: Sequence[Adversary] = ()
+    name: str = "composite"
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("CompositeAdversary needs at least one component")
+        self.oblivious = all(component.oblivious for component in self.components)
+        self.may_insert = any(getattr(component, "may_insert", True) for component in self.components)
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        symbol = sent
+        for component in self.components:
+            symbol = component.corrupt(ctx, symbol)
+        return symbol
+
+    def notify_delivery(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
+        for component in self.components:
+            component.notify_delivery(ctx, sent, received)
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()
+
+
+@dataclass
+class PhaseTargetedAdaptiveAdversary(Adversary):
+    """A non-oblivious adversary that spends its budget on chosen phases.
+
+    It watches the actual communication (so its budget tracks the realised
+    communication complexity) and corrupts transmissions that occur in the
+    listed phases, preferring early iterations.  This captures the classic
+    adaptive attacks against the scheme: hitting the meeting-points hashes or
+    the flag-passing bits, where a single corrupted bit has the largest
+    downstream effect.
+    """
+
+    fraction: float = 0.0
+    phases: Sequence[str] = ("meeting_points", "flag_passing")
+    seed: int = 0
+    max_iteration: Optional[int] = None
+    name: str = "adaptive-phase-targeted"
+    oblivious: bool = False
+    may_insert: bool = False
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is not None:
+            self._budget.observe_transmission()
+        if sent is None:
+            return sent
+        if ctx.phase not in self.phases:
+            return sent
+        if self.max_iteration is not None and ctx.iteration > self.max_iteration:
+            return sent
+        if not self._budget.can_spend():
+            return sent
+        self._budget.spend()
+        return _corrupt_randomly(self._rng, sent)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+
+
+@dataclass
+class RotatingLinkAdaptiveAdversary(Adversary):
+    """A non-oblivious adversary that keeps moving its attack across links.
+
+    Every time its budget allows another corruption it targets the next
+    directed link in a round-robin order, corrupting the first transmitted
+    symbol it sees there.  Spreading single errors across many links maximises
+    the number of (iteration, link) pairs that need local correction, which is
+    the stress case for the global flag-passing/rewind machinery.
+    """
+
+    links: Sequence[Tuple[int, int]] = ()
+    fraction: float = 0.0
+    seed: int = 0
+    name: str = "adaptive-rotating-link"
+    oblivious: bool = False
+    may_insert: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("RotatingLinkAdaptiveAdversary needs a non-empty link list")
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._cursor = 0
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is not None:
+            self._budget.observe_transmission()
+        if sent is None:
+            return sent
+        if (ctx.sender, ctx.receiver) != tuple(self.links[self._cursor]):
+            return sent
+        if not self._budget.can_spend():
+            return sent
+        self._budget.spend()
+        self._cursor = (self._cursor + 1) % len(self.links)
+        return _corrupt_randomly(self._rng, sent)
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._cursor = 0
+
+
+@dataclass
+class EchoSpoofingAdversary(Adversary):
+    """The synchronisation attack of BGMO17 adapted to our model.
+
+    Whenever it can afford two corruptions it deletes a symbol travelling in
+    one direction of the target link and inserts a spoofed symbol in the
+    opposite direction within the same window, driving the two endpoints out
+    of sync — the attack that makes insertion/deletion noise strictly harder
+    than substitutions.  Non-oblivious (it reacts to observed traffic).
+    """
+
+    target: Tuple[int, int] = (0, 1)
+    fraction: float = 0.0
+    seed: int = 0
+    name: str = "echo-spoofing"
+    oblivious: bool = False
+    may_insert: bool = True
+
+    def __post_init__(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._pending_spoof = False
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        if sent is not None:
+            self._budget.observe_transmission()
+        forward = (ctx.sender, ctx.receiver) == tuple(self.target)
+        backward = (ctx.receiver, ctx.sender) == tuple(self.target)
+        if forward and sent is not None and self._budget.can_spend(2):
+            self._budget.spend()
+            self._pending_spoof = True
+            return None  # deletion
+        if backward and sent is None and self._pending_spoof:
+            self._pending_spoof = False
+            self._budget.spend()
+            return self._rng.choice([0, 1])  # spoofed reply (insertion)
+        return sent
+
+    def reset(self) -> None:
+        self._rng = make_rng(self.seed)
+        self._budget = NoiseBudget(fraction=self.fraction)
+        self._pending_spoof = False

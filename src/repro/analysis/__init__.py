@@ -1,0 +1,21 @@
+"""Analysis helpers: potential-function instrumentation and run metrics."""
+
+from repro.analysis.metrics import AggregateMetrics, RunMetrics, summarize_runs
+from repro.analysis.potential import (
+    PotentialSnapshot,
+    PotentialTrace,
+    compute_snapshot,
+    link_agreement,
+    link_divergence,
+)
+
+__all__ = [
+    "AggregateMetrics",
+    "RunMetrics",
+    "summarize_runs",
+    "PotentialSnapshot",
+    "PotentialTrace",
+    "compute_snapshot",
+    "link_agreement",
+    "link_divergence",
+]

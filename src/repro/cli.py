@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+``python -m repro <command>`` regenerates the paper's experiments without
+writing any Python:
+
+* ``table1``        — the measured (and optionally analytical) rows of Table 1,
+* ``noise-sweep``   — success probability around a scheme's nominal noise level,
+* ``rate``          — the constant-rate check (overhead vs CC(Π)),
+* ``ablations``     — flag-passing / rewind / hash-length / chunk-size ablations,
+* ``simulate``      — one simulation of a chosen workload/scheme/noise level.
+
+Every command prints a fixed-width table and can also write a JSON or Markdown
+report via ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.strategies import RandomNoiseAdversary
+from repro.core.engine import simulate
+from repro.core.parameters import SCHEME_PRESETS, scheme_by_name
+from repro.experiments.ablations import (
+    chunk_size_ablation,
+    flag_passing_ablation,
+    hash_length_ablation,
+    rewind_ablation,
+)
+from repro.experiments.harness import format_table
+from repro.experiments.noise_sweep import noise_sweep
+from repro.experiments.reporting import ExperimentReport
+from repro.experiments.table1 import TABLE1_COLUMNS, build_table1
+from repro.experiments.theorem_validation import rate_vs_protocol_size
+from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
+
+
+def _emit(report: ExperimentReport, columns: Sequence[str], output: Optional[str]) -> None:
+    print(format_table(report.rows, columns))
+    if output:
+        path = report.save(output)
+        print(f"\nreport written to {path}")
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    rows = build_table1(
+        topologies=tuple(args.topologies),
+        num_nodes=args.nodes,
+        phases=args.phases,
+        trials=args.trials,
+        include_analytical=not args.measured_only,
+    )
+    report = ExperimentReport(
+        experiment="table1",
+        rows=rows,
+        parameters={"nodes": args.nodes, "phases": args.phases, "trials": args.trials},
+    )
+    _emit(report, TABLE1_COLUMNS, args.output)
+
+
+def _cmd_noise_sweep(args: argparse.Namespace) -> None:
+    workload = gossip_workload(topology=args.topology, num_nodes=args.nodes, phases=args.phases)
+    scheme = scheme_by_name(args.scheme)
+    points = noise_sweep(
+        workload, scheme, multipliers=tuple(args.multipliers), trials=args.trials
+    )
+    rows = [point.as_dict() for point in points]
+    report = ExperimentReport(
+        experiment="noise_sweep",
+        rows=rows,
+        parameters={"scheme": args.scheme, "topology": args.topology, "nodes": args.nodes},
+    )
+    _emit(report, ["multiplier", "target_fraction", "measured_fraction", "success_rate", "mean_overhead"], args.output)
+
+
+def _cmd_rate(args: argparse.Namespace) -> None:
+    scheme = scheme_by_name(args.scheme)
+    points = rate_vs_protocol_size(
+        scheme,
+        phases_grid=tuple(args.phases_grid),
+        topology=args.topology,
+        num_nodes=args.nodes,
+        trials=args.trials,
+    )
+    rows = [point.as_dict() for point in points]
+    report = ExperimentReport(
+        experiment="rate_vs_protocol_size",
+        rows=rows,
+        parameters={"scheme": args.scheme, "topology": args.topology},
+    )
+    _emit(report, ["x", "overhead", "rate", "success_rate"], args.output)
+
+
+def _cmd_ablations(args: argparse.Namespace) -> None:
+    rows: List[Dict[str, object]] = []
+    if args.which in ("flag_passing", "all"):
+        rows += [dict(row.as_dict(), ablation="flag_passing") for row in flag_passing_ablation(trials=args.trials)]
+    if args.which in ("rewind", "all"):
+        rows += [dict(row.as_dict(), ablation="rewind") for row in rewind_ablation(trials=args.trials)]
+    if args.which in ("hash_length", "all"):
+        rows += [dict(row.as_dict(), ablation="hash_length") for row in hash_length_ablation(trials=args.trials)]
+    if args.which in ("chunk_size", "all"):
+        rows += [dict(row.as_dict(), ablation="chunk_size") for row in chunk_size_ablation(trials=args.trials)]
+    report = ExperimentReport(experiment="ablations", rows=rows, parameters={"which": args.which})
+    _emit(report, ["ablation", "label", "success_rate", "mean_overhead", "mean_iterations"], args.output)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> None:
+    builder = WORKLOAD_BUILDERS[args.workload]
+    if args.workload in ("line_example", "token_ring"):
+        # These workloads fix their own topology (a line / a ring).
+        workload = builder(num_nodes=args.nodes)
+    else:
+        workload = builder(topology=args.topology, num_nodes=args.nodes)
+    scheme = scheme_by_name(args.scheme)
+    adversary = None
+    if args.noise > 0.0:
+        adversary = RandomNoiseAdversary(
+            corruption_probability=args.noise, insertion_probability=args.noise / 4, seed=args.seed
+        )
+    result = simulate(workload.protocol, scheme=scheme, adversary=adversary, seed=args.seed)
+    rows = [result.summary()]
+    report = ExperimentReport(
+        experiment="simulate",
+        rows=rows,
+        parameters={"workload": args.workload, "scheme": args.scheme, "noise": args.noise, "seed": args.seed},
+    )
+    _emit(report, ["scheme", "success", "cc_protocol", "cc_simulation", "overhead", "noise_fraction"], args.output)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--topologies", nargs="+", default=["line", "star", "clique"])
+    table1.add_argument("--nodes", type=int, default=5)
+    table1.add_argument("--phases", type=int, default=12)
+    table1.add_argument("--trials", type=int, default=2)
+    table1.add_argument("--measured-only", action="store_true")
+    table1.add_argument("--output")
+    table1.set_defaults(func=_cmd_table1)
+
+    sweep = sub.add_parser("noise-sweep", help="success probability vs noise level")
+    sweep.add_argument("--scheme", choices=sorted(SCHEME_PRESETS), default="algorithm_a")
+    sweep.add_argument("--topology", default="line")
+    sweep.add_argument("--nodes", type=int, default=5)
+    sweep.add_argument("--phases", type=int, default=10)
+    sweep.add_argument("--multipliers", nargs="+", type=float, default=[0.5, 1.0, 4.0, 16.0])
+    sweep.add_argument("--trials", type=int, default=3)
+    sweep.add_argument("--output")
+    sweep.set_defaults(func=_cmd_noise_sweep)
+
+    rate = sub.add_parser("rate", help="constant-rate check (overhead vs CC(Pi))")
+    rate.add_argument("--scheme", choices=sorted(SCHEME_PRESETS), default="algorithm_crs")
+    rate.add_argument("--topology", default="clique")
+    rate.add_argument("--nodes", type=int, default=5)
+    rate.add_argument("--phases-grid", nargs="+", type=int, default=[8, 24, 48])
+    rate.add_argument("--trials", type=int, default=1)
+    rate.add_argument("--output")
+    rate.set_defaults(func=_cmd_rate)
+
+    ablations = sub.add_parser("ablations", help="design-choice ablations")
+    ablations.add_argument(
+        "--which", choices=["flag_passing", "rewind", "hash_length", "chunk_size", "all"], default="all"
+    )
+    ablations.add_argument("--trials", type=int, default=2)
+    ablations.add_argument("--output")
+    ablations.set_defaults(func=_cmd_ablations)
+
+    run = sub.add_parser("simulate", help="run one noise-resilient simulation")
+    run.add_argument("--workload", choices=sorted(WORKLOAD_BUILDERS), default="gossip")
+    run.add_argument("--topology", default="line")
+    run.add_argument("--nodes", type=int, default=5)
+    run.add_argument("--scheme", choices=sorted(SCHEME_PRESETS), default="algorithm_a")
+    run.add_argument("--noise", type=float, default=0.002)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--output")
+    run.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

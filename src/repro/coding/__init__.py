@@ -1,0 +1,6 @@
+"""Error-correcting codes: GF(256) arithmetic, Reed-Solomon, binary wrapper."""
+
+from repro.coding.block_code import BinaryBlockCode
+from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
+
+__all__ = ["BinaryBlockCode", "DecodingError", "ReedSolomonCode"]

@@ -1,0 +1,166 @@
+"""Binary block code used by the randomness exchange.
+
+Algorithm 5 sends a uniformly random seed ``L`` encoded as ``C(L)`` over a
+link, one bit per round.  Because the exchange happens on a fixed schedule,
+a deletion is perceived as an erasure and an insertion outside the schedule
+is simply ignored, so the code only needs to handle bit substitutions and
+bit erasures (paper footnote 9).
+
+``BinaryBlockCode`` realises Theorem 2.1's "constant rate, constant distance,
+efficiently encodable/decodable binary code" as a Reed–Solomon code over
+GF(256) whose symbols are expanded to bits.  Long messages are split into
+independent RS blocks so that any message length is supported.  A bit-level
+erasure marks its containing byte as an erased RS symbol; a bit flip becomes
+(at most) one RS symbol error.
+
+With the default expansion factor of 3 the binary rate is 1/3 and each block
+corrects up to ``k`` byte errors out of ``3k`` byte positions — i.e. a
+constant fraction of corrupted bits, which is all the analysis in Section 5
+requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
+from repro.utils.bitstring import Symbol
+
+__all__ = ["BinaryBlockCode", "DecodingError"]
+
+_BITS_PER_SYMBOL = 8
+
+
+@dataclass(frozen=True)
+class BinaryBlockCode:
+    """A constant-rate binary code built from chunked Reed–Solomon blocks.
+
+    Parameters
+    ----------
+    message_bits:
+        Length (in bits) of the messages this instance encodes.
+    expansion:
+        Codeword-to-message length ratio per block (>= 2); the default of 3
+        matches the "rate 1/3" instantiation suggested under Theorem 2.1.
+    max_block_symbols:
+        Upper bound on RS block length (must be <= 255).
+    """
+
+    message_bits: int
+    expansion: int = 3
+    max_block_symbols: int = 255
+
+    def __post_init__(self) -> None:
+        if self.message_bits <= 0:
+            raise ValueError("message_bits must be positive")
+        if self.expansion < 2:
+            raise ValueError("expansion must be at least 2")
+        if not 3 <= self.max_block_symbols <= 255:
+            raise ValueError("max_block_symbols must lie in [3, 255]")
+
+    # -- layout -----------------------------------------------------------------
+
+    @property
+    def message_symbols(self) -> int:
+        """Number of GF(256) symbols needed to carry the message bits."""
+        return (self.message_bits + _BITS_PER_SYMBOL - 1) // _BITS_PER_SYMBOL
+
+    @property
+    def symbols_per_block(self) -> int:
+        """Message symbols carried by each RS block (last block may be shorter)."""
+        max_k = max(1, self.max_block_symbols // self.expansion)
+        return min(self.message_symbols, max_k)
+
+    def _blocks(self) -> List[ReedSolomonCode]:
+        """The RS code of every block, in order."""
+        blocks: List[ReedSolomonCode] = []
+        remaining = self.message_symbols
+        per_block = self.symbols_per_block
+        while remaining > 0:
+            k = min(per_block, remaining)
+            n = min(255, self.expansion * k)
+            if n <= k:
+                n = k + 1
+            blocks.append(ReedSolomonCode(block_length=n, message_length=k))
+            remaining -= k
+        return blocks
+
+    @property
+    def codeword_bits(self) -> int:
+        """Total number of bits in an encoded message."""
+        return sum(code.block_length for code in self._blocks()) * _BITS_PER_SYMBOL
+
+    @property
+    def rate(self) -> float:
+        return self.message_bits / self.codeword_bits
+
+    # -- bit/symbol conversion -----------------------------------------------------
+
+    @staticmethod
+    def _bits_to_symbols(bits: Sequence[int], num_symbols: int) -> List[int]:
+        symbols = []
+        for index in range(num_symbols):
+            value = 0
+            for offset in range(_BITS_PER_SYMBOL):
+                position = index * _BITS_PER_SYMBOL + offset
+                if position < len(bits) and bits[position]:
+                    value |= 1 << offset
+            symbols.append(value)
+        return symbols
+
+    @staticmethod
+    def _symbols_to_bits(symbols: Sequence[int]) -> List[int]:
+        bits: List[int] = []
+        for symbol in symbols:
+            for offset in range(_BITS_PER_SYMBOL):
+                bits.append((symbol >> offset) & 1)
+        return bits
+
+    # -- public API ------------------------------------------------------------------
+
+    def encode(self, bits: Sequence[int]) -> List[int]:
+        """Encode ``message_bits`` bits into ``codeword_bits`` bits."""
+        if len(bits) != self.message_bits:
+            raise ValueError(f"expected {self.message_bits} message bits, got {len(bits)}")
+        symbols = self._bits_to_symbols(bits, self.message_symbols)
+        out_bits: List[int] = []
+        cursor = 0
+        for code in self._blocks():
+            block_message = symbols[cursor:cursor + code.message_length]
+            cursor += code.message_length
+            out_bits.extend(self._symbols_to_bits(code.encode(block_message)))
+        return out_bits
+
+    def decode(self, received: Sequence[Symbol]) -> List[int]:
+        """Decode a received bit sequence (entries may be 0, 1 or ``None``).
+
+        ``None`` entries are treated as erasures.  A word shorter than the
+        codeword is padded with erasures; extra symbols are ignored.  Raises
+        :class:`DecodingError` if any block is beyond the correction radius.
+        """
+        padded: List[Symbol] = list(received[: self.codeword_bits])
+        padded.extend([None] * (self.codeword_bits - len(padded)))
+
+        message_symbols: List[int] = []
+        bit_cursor = 0
+        for code in self._blocks():
+            block_bits = padded[bit_cursor:bit_cursor + code.block_length * _BITS_PER_SYMBOL]
+            bit_cursor += code.block_length * _BITS_PER_SYMBOL
+            word: List[int] = []
+            erasures: List[int] = []
+            for symbol_index in range(code.block_length):
+                value = 0
+                erased = False
+                for offset in range(_BITS_PER_SYMBOL):
+                    bit = block_bits[symbol_index * _BITS_PER_SYMBOL + offset]
+                    if bit is None:
+                        erased = True
+                    elif bit:
+                        value |= 1 << offset
+                word.append(value)
+                if erased:
+                    erasures.append(symbol_index)
+            message_symbols.extend(code.decode(word, erasure_positions=erasures))
+        all_bits = self._symbols_to_bits(message_symbols)
+        return all_bits[: self.message_bits]

@@ -1,0 +1,225 @@
+"""Reed–Solomon codes over GF(256) with errors-and-erasures decoding.
+
+The randomness exchange of Algorithm A/B (paper Algorithm 5) sends a short
+uniform seed encoded with "a standard error-correcting code with constant
+rate and constant distance" (Theorem 2.1).  The paper suggests concatenating
+Reed–Solomon with a binary code or using Guruswami–Indyk codes; we implement
+the Reed–Solomon component here and a binary wrapper in
+:mod:`repro.coding.block_code`.
+
+Encoding is systematic (parity symbols followed by message symbols in the
+low-degree-first coefficient layout).  Decoding handles both symbol errors
+and declared erasures — the latter matter because a *deletion* on a
+synchronous, fully-scheduled exchange is perceived by the receiver as an
+erasure (paper §3.2, footnote 9).
+
+The decoder follows the classical pipeline: syndromes → erasure locator →
+modified syndromes → Sugiyama (extended Euclidean) solution of the key
+equation → Chien search → Forney error values.  It corrects any pattern with
+``2 * errors + erasures <= n - k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.coding.gf256 import (
+    GENERATOR,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    poly_add,
+    poly_deg,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_trim,
+)
+
+
+class DecodingError(Exception):
+    """Raised when a received word is not decodable within the code's radius."""
+
+
+@dataclass(frozen=True)
+class ReedSolomonCode:
+    """A systematic RS(n, k) code over GF(256).
+
+    Parameters
+    ----------
+    block_length:
+        n, the number of codeword symbols (at most 255).
+    message_length:
+        k, the number of message symbols (1 <= k < n).
+    """
+
+    block_length: int
+    message_length: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.message_length < self.block_length <= 255:
+            raise ValueError(
+                f"invalid RS parameters n={self.block_length}, k={self.message_length}"
+            )
+
+    # -- derived parameters ---------------------------------------------------
+
+    @property
+    def parity_length(self) -> int:
+        return self.block_length - self.message_length
+
+    @property
+    def distance(self) -> int:
+        """Minimum distance n - k + 1 (RS codes are MDS)."""
+        return self.parity_length + 1
+
+    @property
+    def rate(self) -> float:
+        return self.message_length / self.block_length
+
+    def generator_polynomial(self) -> List[int]:
+        """g(x) = prod_{i=0}^{p-1} (x - alpha^i), low-degree-first."""
+        gen = [1]
+        for i in range(self.parity_length):
+            gen = poly_mul(gen, [gf_pow(GENERATOR, i), 1])
+        return gen
+
+    # -- encoding ---------------------------------------------------------------
+
+    def encode(self, message: Sequence[int]) -> List[int]:
+        """Encode ``k`` message symbols into ``n`` codeword symbols.
+
+        The codeword layout is ``[parity_0..parity_{p-1}, message_0..message_{k-1}]``
+        viewed as coefficients of C(x) = M(x) * x^p + R(x).
+        """
+        message = list(message)
+        if len(message) != self.message_length:
+            raise ValueError(
+                f"expected {self.message_length} message symbols, got {len(message)}"
+            )
+        for symbol in message:
+            if not 0 <= symbol < 256:
+                raise ValueError(f"message symbol {symbol} outside GF(256)")
+        shifted = [0] * self.parity_length + message
+        _, remainder = poly_divmod(shifted, self.generator_polynomial())
+        remainder = list(remainder) + [0] * (self.parity_length - len(remainder))
+        codeword = remainder[: self.parity_length] + message
+        return codeword
+
+    def extract_message(self, codeword: Sequence[int]) -> List[int]:
+        """Read the systematic message symbols out of a codeword."""
+        if len(codeword) != self.block_length:
+            raise ValueError("codeword has the wrong length")
+        return list(codeword[self.parity_length:])
+
+    # -- decoding ---------------------------------------------------------------
+
+    def syndromes(self, received: Sequence[int]) -> List[int]:
+        """S_j = R(alpha^j) for j = 0..p-1."""
+        return [poly_eval(list(received), gf_pow(GENERATOR, j)) for j in range(self.parity_length)]
+
+    def decode(
+        self,
+        received: Sequence[int],
+        erasure_positions: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Correct a received word in place and return the decoded *message*.
+
+        ``erasure_positions`` are codeword indices known to be unreliable
+        (their symbol values are still taken from ``received``; callers
+        typically fill them with 0).
+        """
+        word = list(received)
+        if len(word) != self.block_length:
+            raise ValueError("received word has the wrong length")
+        erasures = sorted(set(erasure_positions or ()))
+        for position in erasures:
+            if not 0 <= position < self.block_length:
+                raise ValueError(f"erasure position {position} out of range")
+        if len(erasures) > self.parity_length:
+            raise DecodingError("more erasures than parity symbols")
+
+        synd = self.syndromes(word)
+        if all(s == 0 for s in synd):
+            return self.extract_message(word)
+
+        corrected = self._correct(word, synd, erasures)
+        if any(s != 0 for s in self.syndromes(corrected)):
+            raise DecodingError("residual syndromes after correction")
+        return self.extract_message(corrected)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _erasure_locator(self, erasures: Sequence[int]) -> List[int]:
+        """Gamma(x) = prod (1 - X_i x) with X_i = alpha^position."""
+        locator = [1]
+        for position in erasures:
+            locator = poly_mul(locator, [1, gf_pow(GENERATOR, position)])
+        return locator
+
+    def _solve_key_equation(self, modified_syndrome: List[int], num_erasures: int) -> tuple:
+        """Sugiyama's extended-Euclidean solution of the key equation.
+
+        Returns (error_locator, evaluator) such that
+        ``error_locator * modified_syndrome = evaluator (mod x^p)``.
+        """
+        parity = self.parity_length
+        r_prev: List[int] = [0] * parity + [1]  # x^p
+        r_curr: List[int] = poly_trim(modified_syndrome)
+        v_prev: List[int] = [0]
+        v_curr: List[int] = [1]
+        # Continue while deg(r_curr) >= (p + rho) / 2.
+        while r_curr != [0] and 2 * poly_deg(r_curr) >= parity + num_erasures:
+            quotient, remainder = poly_divmod(r_prev, r_curr)
+            r_prev, r_curr = r_curr, remainder
+            v_prev, v_curr = v_curr, poly_add(v_prev, poly_mul(quotient, v_curr))
+        return poly_trim(v_curr), poly_trim(r_curr)
+
+    @staticmethod
+    def _formal_derivative(poly: Sequence[int]) -> List[int]:
+        """d/dx of a polynomial over a characteristic-2 field."""
+        derivative = [poly[k] if k % 2 == 1 else 0 for k in range(1, len(poly))]
+        return poly_trim(derivative or [0])
+
+    def _correct(self, word: List[int], synd: List[int], erasures: List[int]) -> List[int]:
+        gamma = self._erasure_locator(erasures)
+        syndrome_poly = poly_trim(synd)
+        modified = poly_mul(syndrome_poly, gamma)
+        modified = poly_trim(modified[: self.parity_length])
+
+        if all(c == 0 for c in modified):
+            # All discrepancies are explained by the erasures alone.
+            error_locator: List[int] = [1]
+            evaluator = poly_trim(poly_mul(syndrome_poly, gamma)[: self.parity_length])
+        else:
+            error_locator, evaluator = self._solve_key_equation(modified, len(erasures))
+            if error_locator == [0]:
+                raise DecodingError("degenerate error locator")
+
+        errata_locator = poly_mul(error_locator, gamma)
+        # Chien search over all codeword positions.
+        positions: List[int] = []
+        for position in range(self.block_length):
+            x_inv = gf_inv(gf_pow(GENERATOR, position))
+            if poly_eval(errata_locator, x_inv) == 0:
+                positions.append(position)
+        if len(positions) != poly_deg(errata_locator):
+            raise DecodingError("errata locator does not split over the field")
+
+        # The evaluator must correspond to the full errata locator:
+        # Omega(x) = S(x) * Psi(x) mod x^p (scalar factors cancel in Forney).
+        omega = poly_trim(poly_mul(syndrome_poly, errata_locator)[: self.parity_length])
+        derivative = self._formal_derivative(errata_locator)
+
+        corrected = list(word)
+        for position in positions:
+            x_i = gf_pow(GENERATOR, position)
+            x_inv = gf_inv(x_i)
+            denominator = poly_eval(derivative, x_inv)
+            if denominator == 0:
+                raise DecodingError("Forney denominator vanished")
+            magnitude = gf_mul(x_i, gf_div(poly_eval(omega, x_inv), denominator))
+            corrected[position] ^= magnitude
+        return corrected

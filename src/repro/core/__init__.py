@@ -1,0 +1,47 @@
+"""The coding scheme itself: Algorithm 1 and the A/B/C presets."""
+
+from repro.core.chunking import Chunk, ChunkedProtocol, LinkSlot
+from repro.core.engine import InteractiveCodingSimulator, PartyRuntime, simulate
+from repro.core.meeting_points import (
+    STATUS_MEETING_POINTS,
+    STATUS_SIMULATE,
+    MeetingPointsOutcome,
+    MeetingPointsSession,
+)
+from repro.core.parameters import (
+    SCHEME_PRESETS,
+    SchemeParameters,
+    algorithm_a,
+    algorithm_b,
+    algorithm_c,
+    crs_oblivious_scheme,
+    scheme_by_name,
+)
+from repro.core.randomness_exchange import RandomnessExchangeReport, run_randomness_exchange
+from repro.core.results import SimulationResult
+from repro.core.transcript import ChunkRecord, LinkTranscript
+
+__all__ = [
+    "Chunk",
+    "ChunkedProtocol",
+    "LinkSlot",
+    "InteractiveCodingSimulator",
+    "PartyRuntime",
+    "simulate",
+    "STATUS_MEETING_POINTS",
+    "STATUS_SIMULATE",
+    "MeetingPointsOutcome",
+    "MeetingPointsSession",
+    "SCHEME_PRESETS",
+    "SchemeParameters",
+    "algorithm_a",
+    "algorithm_b",
+    "algorithm_c",
+    "crs_oblivious_scheme",
+    "scheme_by_name",
+    "RandomnessExchangeReport",
+    "run_randomness_exchange",
+    "SimulationResult",
+    "ChunkRecord",
+    "LinkTranscript",
+]

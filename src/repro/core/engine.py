@@ -1,0 +1,514 @@
+"""The noise-resilient simulator — the paper's Algorithm 1.
+
+``InteractiveCodingSimulator`` takes a noiseless protocol Π (with a fixed
+speaking order), a network adversary, and a :class:`SchemeParameters` preset
+(Algorithm 1/A/B/C), and executes the noise-resilient simulation over the
+noisy network:
+
+    for every iteration:
+        (i)   consistency check  — one meeting-points exchange per link
+        (ii)  flag passing       — convergecast/broadcast of continue/idle flags
+        (iii) simulation         — one chunk of Π per link (or idle ⊥)
+        (iv)  rewind             — length-based single-chunk rewind requests
+
+All inter-party communication goes through :class:`NoisyNetwork`, so the
+adversary sees (and may corrupt) every symbol, and the communication /
+corruption accounting used by the theorems is collected in one place.
+
+Engineering notes (full discussion in DESIGN.md):
+
+* The iteration budget defaults to a small multiple of |Π| instead of the
+  paper's ``100·|Π|`` — the analysis constants are loose.  With
+  ``early_stop=True`` (default) the run also ends as soon as every link's
+  facing transcripts agree on all real chunks; this is an observer-level
+  shortcut that can only shorten runs (success is always re-validated by
+  comparing final party outputs with the noiseless reference execution).
+* Parties never read each other's state: every decision a party makes uses
+  only its own transcripts, its hash seeds and what it received on the wire.
+  Ground-truth quantities (potential, hash-collision counts, success) are
+  computed by the surrounding harness for reporting only.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.adversary.base import Adversary, NoiselessAdversary
+from repro.analysis.metrics import RunMetrics
+from repro.analysis.potential import PotentialTrace, compute_snapshot
+from repro.core.chunking import ChunkedProtocol
+from repro.core.meeting_points import (
+    STATUS_MEETING_POINTS,
+    STATUS_SIMULATE,
+    MeetingPointsSession,
+)
+from repro.core.parameters import SchemeParameters, crs_oblivious_scheme
+from repro.core.randomness_exchange import run_randomness_exchange
+from repro.core.results import SimulationResult
+from repro.core.transcript import ChunkRecord, LinkTranscript
+from repro.hashing.inner_product import InnerProductHash
+from repro.hashing.seeds import CrsSeedSource, SeedSource
+from repro.network.channel import Symbol
+from repro.network.graph import Graph, edge_key
+from repro.network.spanning_tree import SpanningTree
+from repro.network.transport import NoisyNetwork
+from repro.protocols.base import PartyLogic, Protocol
+from repro.utils.rng import fork, fork_seed, make_rng
+
+
+@dataclass
+class PartyRuntime:
+    """The complete local state of one party during the simulation."""
+
+    party: int
+    logic: PartyLogic
+    transcripts: Dict[int, LinkTranscript]
+    sessions: Dict[int, MeetingPointsSession]
+    link_status: Dict[int, str]
+    status_flag: int = 1
+    net_correct: int = 1
+
+    def neighbors(self) -> List[int]:
+        return sorted(self.transcripts)
+
+    def min_chunk(self) -> int:
+        return min(len(self.transcripts[v]) for v in self.transcripts)
+
+    def build_received_map(self) -> Dict[Tuple[int, int], int]:
+        """Everything this party has received so far, for protocol replay."""
+        merged: Dict[Tuple[int, int], int] = {}
+        for transcript in self.transcripts.values():
+            merged.update(transcript.received_map())
+        return merged
+
+
+class InteractiveCodingSimulator:
+    """Run Algorithm 1 (with the chosen scheme preset) over a noisy network."""
+
+    def __init__(
+        self,
+        protocol: Protocol,
+        scheme: Optional[SchemeParameters] = None,
+        adversary: Optional[Adversary] = None,
+        seed: int = 0,
+    ) -> None:
+        self.protocol = protocol
+        self.graph: Graph = protocol.graph
+        self.scheme = scheme if scheme is not None else crs_oblivious_scheme()
+        self.adversary = adversary if adversary is not None else NoiselessAdversary()
+        self.seed = seed
+
+        self.scale_k = self.scheme.scale_k(self.graph)
+        self.chunked = ChunkedProtocol(
+            protocol,
+            chunk_budget=self.scheme.chunk_budget(self.graph),
+            padding_chunks=self.scheme.padding_chunks,
+        )
+        self.hasher = InnerProductHash(self.scheme.hash_output_bits(self.graph))
+        self.tree = SpanningTree(self.graph, root=0)
+        self.network = NoisyNetwork(self.graph, adversary=self.adversary)
+        self.runtimes: Dict[int, PartyRuntime] = {}
+        self.iterations_budget = self.scheme.iterations(self.chunked.num_real_chunks)
+        self._counters: Dict[str, int] = {
+            "rewinds_sent": 0,
+            "mp_truncations": 0,
+            "hash_mismatches": 0,
+            "hash_collisions": 0,
+        }
+        self._randomness_agreed: Dict[Tuple[int, int], bool] = {}
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self) -> SimulationResult:
+        """Execute the whole simulation and return a :class:`SimulationResult`."""
+        reference = self.protocol.run_noiseless()
+        self.adversary.reset()
+        self._initialize_state()
+
+        trace = PotentialTrace() if self.scheme.trace_potential else None
+        iterations_run = 0
+        for iteration in range(self.iterations_budget):
+            iterations_run = iteration + 1
+            self._meeting_points_phase(iteration)
+            self._compute_status_flags()
+            self._flag_passing_phase(iteration)
+            self._simulation_phase(iteration)
+            if self.scheme.enable_rewind_phase:
+                self._rewind_phase(iteration)
+            if trace is not None:
+                trace.record(
+                    compute_snapshot(self.graph, self._all_transcripts(), iteration, self.scale_k)
+                )
+            if self.scheme.early_stop and self._simulation_complete():
+                break
+
+        outputs = self._extract_outputs()
+        metrics = self._build_metrics(reference_cc=self.protocol.communication_complexity(),
+                                      outputs=outputs,
+                                      reference_outputs=reference.outputs,
+                                      iterations_run=iterations_run)
+        return SimulationResult(
+            scheme=self.scheme,
+            success=metrics.success,
+            outputs=outputs,
+            reference_outputs=reference.outputs,
+            metrics=metrics,
+            channel_summary=self.network.stats.snapshot(),
+            iterations_run=iterations_run,
+            iterations_budget=self.iterations_budget,
+            num_real_chunks=self.chunked.num_real_chunks,
+            final_link_agreement={
+                edge: self._transcript(edge[0], edge[1]).common_prefix_chunks(self._transcript(edge[1], edge[0]))
+                for edge in self.graph.edges
+            },
+            potential_trace=trace,
+            randomness_exchange_agreed=dict(self._randomness_agreed),
+        )
+
+    # ------------------------------------------------------ initialisation --
+
+    def _initialize_state(self) -> None:
+        """InitializeState(): transcripts, meeting-points state and hash seeds."""
+        seed_sources = self._setup_seed_sources()
+        self.runtimes = {}
+        for party in self.graph.nodes:
+            transcripts = {v: LinkTranscript(party, v) for v in self.graph.neighbors(party)}
+            sessions = {
+                v: MeetingPointsSession(
+                    hasher=self.hasher,
+                    seed_source=seed_sources[(party, v)],
+                    hash_input_mode=self.scheme.hash_input_mode,
+                )
+                for v in self.graph.neighbors(party)
+            }
+            self.runtimes[party] = PartyRuntime(
+                party=party,
+                logic=self.protocol.create_party(party),
+                transcripts=transcripts,
+                sessions=sessions,
+                link_status={v: STATUS_SIMULATE for v in self.graph.neighbors(party)},
+            )
+
+    def _setup_seed_sources(self) -> Dict[Tuple[int, int], SeedSource]:
+        if self.scheme.use_crs:
+            master = fork_seed(self.seed, "common-random-string")
+            sources: Dict[Tuple[int, int], SeedSource] = {}
+            for u, v in self.graph.directed_edges():
+                sources[(u, v)] = CrsSeedSource(master_seed=master, link=edge_key(u, v))
+            self._randomness_agreed = {edge: True for edge in self.graph.edges}
+            return sources
+        exchange_rng = fork(self.seed, "randomness-exchange")
+        report = run_randomness_exchange(
+            self.graph,
+            self.network,
+            exchange_rng,
+            field_degree=self.scheme.small_bias_field_degree,
+        )
+        self._randomness_agreed = dict(report.agreed)
+        return report.seed_sources
+
+    # ------------------------------------------------- phase (i): meeting points --
+
+    def _meeting_points_phase(self, iteration: int) -> None:
+        window = 4 * self.hasher.output_bits
+        messages: Dict[Tuple[int, int], List[int]] = {}
+        for runtime in self.runtimes.values():
+            for neighbor in runtime.neighbors():
+                session = runtime.sessions[neighbor]
+                messages[(runtime.party, neighbor)] = session.build_message(
+                    iteration, runtime.transcripts[neighbor]
+                )
+        delivered = self.network.exchange_window(messages, window, "meeting_points", iteration)
+        for runtime in self.runtimes.values():
+            for neighbor in runtime.neighbors():
+                session = runtime.sessions[neighbor]
+                transcript = runtime.transcripts[neighbor]
+                outcome = session.process_reply(iteration, transcript, delivered[(neighbor, runtime.party)])
+                runtime.link_status[neighbor] = outcome.status
+                if outcome.truncate_to is not None:
+                    transcript.truncate_to(outcome.truncate_to)
+                    self._counters["mp_truncations"] += 1
+                if outcome.status == STATUS_MEETING_POINTS:
+                    self._counters["hash_mismatches"] += 1
+                if outcome.full_match:
+                    # Ground-truth hash-collision detection (reporting only).
+                    other = self.runtimes[neighbor].transcripts[runtime.party]
+                    if not transcript.matches_prefix(other, max(len(transcript), len(other))):
+                        self._counters["hash_collisions"] += 1
+
+    # -------------------------------------------------- status flags (lines 6-13) --
+
+    def _compute_status_flags(self) -> None:
+        for runtime in self.runtimes.values():
+            min_chunk = runtime.min_chunk()
+            in_meeting_points = any(
+                status == STATUS_MEETING_POINTS for status in runtime.link_status.values()
+            )
+            uneven = any(len(runtime.transcripts[v]) > min_chunk for v in runtime.neighbors())
+            runtime.status_flag = 0 if (in_meeting_points or uneven) else 1
+
+    # ------------------------------------------------- phase (ii): flag passing --
+
+    def _flag_passing_phase(self, iteration: int) -> None:
+        if not self.scheme.enable_flag_passing:
+            for runtime in self.runtimes.values():
+                runtime.net_correct = runtime.status_flag
+            return
+
+        depth = self.tree.depth
+        up_value: Dict[int, int] = {
+            party: runtime.status_flag for party, runtime in self.runtimes.items()
+        }
+
+        # Convergecast: deepest levels first; each node sends its aggregated flag
+        # to its parent one round after all its children have spoken.
+        for level in range(depth, 1, -1):
+            messages: Dict[Tuple[int, int], List[int]] = {}
+            for node in self.graph.nodes:
+                if self.tree.level[node] == level:
+                    parent = self.tree.parent[node]
+                    messages[(node, parent)] = [up_value[node]]
+            delivered = self.network.exchange_window(messages, 1, "flag_passing", iteration)
+            for node in self.graph.nodes:
+                if self.tree.level[node] == level:
+                    parent = self.tree.parent[node]
+                    received = delivered[(node, parent)][0]
+                    up_value[parent] &= 1 if received == 1 else 0
+
+        down_value: Dict[int, int] = {self.tree.root: up_value[self.tree.root]}
+
+        # Broadcast: root first, then level by level.
+        for level in range(1, depth):
+            messages = {}
+            for node in self.graph.nodes:
+                if self.tree.level[node] == level and node in down_value:
+                    for child in self.tree.children[node]:
+                        messages[(node, child)] = [down_value[node]]
+            delivered = self.network.exchange_window(messages, 1, "flag_passing", iteration)
+            for node in self.graph.nodes:
+                if self.tree.level[node] == level + 1:
+                    parent = self.tree.parent[node]
+                    received = delivered[(parent, node)][0]
+                    bit = 1 if received == 1 else 0
+                    down_value[node] = bit & self.runtimes[node].status_flag
+
+        for party, runtime in self.runtimes.items():
+            if party == self.tree.root:
+                runtime.net_correct = down_value[self.tree.root]
+            else:
+                runtime.net_correct = down_value.get(party, 0)
+
+    # ------------------------------------------------- phase (iii): simulation --
+
+    def _simulation_phase(self, iteration: int) -> None:
+        # Round 0: parties that should not simulate send ⊥ (encoded as a 1) to
+        # every neighbour; everyone listens.
+        bot_messages: Dict[Tuple[int, int], List[int]] = {}
+        for runtime in self.runtimes.values():
+            if runtime.net_correct == 0:
+                for neighbor in runtime.neighbors():
+                    bot_messages[(runtime.party, neighbor)] = [1]
+        delivered = self.network.exchange_window(bot_messages, 1, "simulation", iteration)
+        bot_from: Dict[int, Set[int]] = {party: set() for party in self.graph.nodes}
+        for (sender, receiver), symbols in delivered.items():
+            if symbols and symbols[0] == 1:
+                bot_from[receiver].add(sender)
+
+        # Which links each party simulates this phase, and at which chunk index.
+        active: Dict[int, Dict[int, int]] = {}
+        for runtime in self.runtimes.values():
+            if runtime.net_correct != 1:
+                active[runtime.party] = {}
+                continue
+            active[runtime.party] = {
+                neighbor: len(runtime.transcripts[neighbor]) + 1
+                for neighbor in runtime.neighbors()
+                if neighbor not in bot_from[runtime.party]
+            }
+
+        # Per-party working state for the chunk being simulated.
+        workspaces: Dict[int, Dict[str, object]] = {}
+        for party, links in active.items():
+            if not links:
+                continue
+            workspaces[party] = {
+                "received_map": self.runtimes[party].build_received_map(),
+                "sent": {neighbor: {} for neighbor in links},
+                "recv": {neighbor: {} for neighbor in links},
+            }
+
+        window = self.chunked.max_chunk_rounds()
+        for offset in range(window):
+            messages: Dict[Tuple[int, int], List[int]] = {}
+            for party, links in active.items():
+                if not links:
+                    continue
+                workspace = workspaces[party]
+                for neighbor, chunk_index in links.items():
+                    chunk = self.chunked.chunk(chunk_index)
+                    if offset >= chunk.num_rounds:
+                        continue
+                    round_index = chunk.round_indices[offset]
+                    for sender, receiver in self.chunked.chunk_round_links(chunk_index)[offset]:
+                        if sender == party and receiver == neighbor:
+                            bit = self.runtimes[party].logic.send_bit(
+                                round_index, neighbor, workspace["received_map"]
+                            )
+                            messages[(party, neighbor)] = [bit]
+                            workspace["sent"][neighbor][round_index] = bit
+            if not messages and not getattr(self.adversary, "may_insert", True):
+                # Nothing scheduled anywhere this round; skip the exchange but
+                # keep the clock honest.
+                self.network.advance_rounds(1)
+                continue
+            delivered = self.network.exchange_window(messages, 1, "simulation", iteration)
+            for party, links in active.items():
+                if not links:
+                    continue
+                workspace = workspaces[party]
+                for neighbor, chunk_index in links.items():
+                    chunk = self.chunked.chunk(chunk_index)
+                    if offset >= chunk.num_rounds:
+                        continue
+                    round_index = chunk.round_indices[offset]
+                    for sender, receiver in self.chunked.chunk_round_links(chunk_index)[offset]:
+                        if sender == neighbor and receiver == party:
+                            symbol = delivered[(neighbor, party)][0]
+                            workspace["recv"][neighbor][round_index] = symbol
+                            workspace["received_map"][(round_index, neighbor)] = (
+                                0 if symbol is None else int(symbol)
+                            )
+
+        # Append the freshly simulated chunk records.
+        for party, links in active.items():
+            if not links:
+                continue
+            workspace = workspaces[party]
+            runtime = self.runtimes[party]
+            for neighbor, chunk_index in links.items():
+                view: List[Symbol] = []
+                for slot in self.chunked.link_slots(chunk_index, party, neighbor):
+                    if slot.sender == party:
+                        view.append(workspace["sent"][neighbor].get(slot.round_index))
+                    else:
+                        view.append(workspace["recv"][neighbor].get(slot.round_index))
+                record = ChunkRecord(
+                    chunk_index=chunk_index,
+                    link_view=tuple(view),
+                    received_by_round=tuple(sorted(workspace["recv"][neighbor].items())),
+                )
+                runtime.transcripts[neighbor].append(record)
+
+    # --------------------------------------------------- phase (iv): rewind --
+
+    def _rewind_phase(self, iteration: int) -> None:
+        already: Dict[int, Dict[int, bool]] = {
+            party: {neighbor: False for neighbor in runtime.neighbors()}
+            for party, runtime in self.runtimes.items()
+        }
+        rounds = self.scheme.rewind_round_count(self.graph)
+        for _ in range(rounds):
+            messages: Dict[Tuple[int, int], List[int]] = {}
+            for runtime in self.runtimes.values():
+                party = runtime.party
+                min_chunk = runtime.min_chunk()
+                for neighbor in runtime.neighbors():
+                    if runtime.link_status[neighbor] == STATUS_MEETING_POINTS:
+                        continue
+                    if already[party][neighbor]:
+                        continue
+                    if len(runtime.transcripts[neighbor]) > min_chunk:
+                        messages[(party, neighbor)] = [1]
+                        runtime.transcripts[neighbor].truncate_last(1)
+                        already[party][neighbor] = True
+                        self._counters["rewinds_sent"] += 1
+            if not messages and not getattr(self.adversary, "may_insert", True):
+                self.network.advance_rounds(1)
+                continue
+            delivered = self.network.exchange_window(messages, 1, "rewind", iteration)
+            for runtime in self.runtimes.values():
+                party = runtime.party
+                for neighbor in runtime.neighbors():
+                    if delivered[(neighbor, party)][0] != 1:
+                        continue
+                    if runtime.link_status[neighbor] == STATUS_MEETING_POINTS:
+                        continue
+                    if already[party][neighbor]:
+                        continue
+                    runtime.transcripts[neighbor].truncate_last(1)
+                    already[party][neighbor] = True
+
+    # --------------------------------------------------------- bookkeeping --
+
+    def _transcript(self, owner: int, neighbor: int) -> LinkTranscript:
+        return self.runtimes[owner].transcripts[neighbor]
+
+    def _all_transcripts(self) -> Dict[Tuple[int, int], LinkTranscript]:
+        out: Dict[Tuple[int, int], LinkTranscript] = {}
+        for runtime in self.runtimes.values():
+            for neighbor, transcript in runtime.transcripts.items():
+                out[(runtime.party, neighbor)] = transcript
+        return out
+
+    def _simulation_complete(self) -> bool:
+        """True when every link's facing transcripts agree on all real chunks."""
+        target = self.chunked.num_real_chunks
+        for u, v in self.graph.edges:
+            mine = self._transcript(u, v)
+            theirs = self._transcript(v, u)
+            if len(mine) < target or len(theirs) < target:
+                return False
+            if not mine.matches_prefix(theirs, target):
+                return False
+        return True
+
+    def _extract_outputs(self) -> Dict[int, object]:
+        outputs: Dict[int, object] = {}
+        max_chunk = self.chunked.num_real_chunks
+        for party, runtime in self.runtimes.items():
+            received: Dict[Tuple[int, int], int] = {}
+            for transcript in runtime.transcripts.values():
+                received.update(transcript.received_map(max_chunk_index=max_chunk))
+            outputs[party] = runtime.logic.compute_output(received)
+        return outputs
+
+    def _build_metrics(
+        self,
+        reference_cc: int,
+        outputs: Dict[int, object],
+        reference_outputs: Dict[int, object],
+        iterations_run: int,
+    ) -> RunMetrics:
+        stats = self.network.stats
+        success = all(outputs.get(party) == value for party, value in reference_outputs.items())
+        return RunMetrics(
+            scheme=self.scheme.name,
+            success=success,
+            protocol_communication=reference_cc,
+            simulation_communication=stats.transmissions,
+            corruptions=stats.corruptions,
+            noise_fraction=stats.noise_fraction(),
+            iterations_run=iterations_run,
+            iterations_budget=self.iterations_budget,
+            communication_by_phase=dict(stats.transmissions_by_phase),
+            corruptions_by_phase=dict(stats.corruptions_by_phase),
+            meeting_point_truncations=self._counters["mp_truncations"],
+            rewinds_sent=self._counters["rewinds_sent"],
+            hash_mismatches_detected=self._counters["hash_mismatches"],
+            hash_collisions_observed=self._counters["hash_collisions"],
+            randomness_exchange_failures=sum(
+                1 for agreed in self._randomness_agreed.values() if not agreed
+            ),
+        )
+
+
+def simulate(
+    protocol: Protocol,
+    scheme: Optional[SchemeParameters] = None,
+    adversary: Optional[Adversary] = None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Convenience wrapper: build a simulator and run it once."""
+    return InteractiveCodingSimulator(protocol, scheme=scheme, adversary=adversary, seed=seed).run()

@@ -1,0 +1,234 @@
+"""The per-link meeting-points mechanism (paper §3.1(ii), §4.2, Appendix A).
+
+Every consistency-check phase, the two endpoints of a link exchange three
+short hashes: one of their meeting-points counter ``k`` and two of transcript
+prefixes truncated at the current *meeting points* MP1 and MP2.  The meeting
+points are the multiples of ``k̃ = 2^⌈log₂ k⌉`` nearest below the transcript
+length, so as the search continues (k grows) the candidate rollback points
+move back geometrically.  When a party has seen enough evidence that one of
+its meeting points is a common prefix, it truncates its transcript to that
+point; when the full-transcript hashes match at ``k = 1`` the link is
+consistent and the party reports status ``"simulate"``.
+
+The implementation follows Haeupler's meeting-points protocol (which the
+paper adapts as its Algorithm 7 — the appendix text is not fully available in
+our source, see DESIGN.md):
+
+* ``k`` counts consecutive consistency phases spent in the current search;
+* ``E`` counts phases in which the two parties appear to disagree about ``k``
+  itself (evidence of channel noise);
+* ``mpc1`` / ``mpc2`` count, within the current scale, how often MP1 / MP2
+  hash-matched one of the other side's meeting points;
+* at the end of a scale (``k = k̃``) the party either truncates to a
+  sufficiently supported meeting point, or — if errors dominate — resets the
+  search.
+
+A single exchange costs ``3τ`` bits per direction, τ being the hash output
+length, so a consistency phase over the whole network costs Θ(τ·m) bits, as
+required for the constant-rate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.transcript import LinkTranscript
+from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash, fingerprint_bits
+from repro.hashing.seeds import SeedSource
+from repro.network.channel import Symbol
+from repro.utils.bitstring import bytes_to_bits
+
+STATUS_SIMULATE = "simulate"
+STATUS_MEETING_POINTS = "meeting points"
+
+#: Width of the encoding of the counter ``k`` fed to the hash.
+_COUNTER_BITS = 32
+#: Maximum raw-serialisation width (bits) before falling back to fingerprints.
+_RAW_INPUT_CAP_BITS = 4096
+
+
+@dataclass
+class MeetingPointsOutcome:
+    """What one consistency-check exchange decided for one endpoint."""
+
+    status: str
+    truncate_to: Optional[int] = None
+    k_agreed: bool = False
+    full_match: bool = False
+    vote: Optional[str] = None
+    reset: bool = False
+
+
+@dataclass
+class MeetingPointsSession:
+    """Per-(party, link) state of the meeting-points mechanism."""
+
+    hasher: InnerProductHash
+    seed_source: SeedSource
+    hash_input_mode: str = "fingerprint"
+
+    k: int = 0
+    error_count: int = 0
+    mpc1: int = 0
+    mpc2: int = 0
+    status: str = STATUS_SIMULATE
+
+    #: Diagnostics accumulated over the whole run.
+    truncations: int = 0
+    resets: int = 0
+
+    # transient, per-exchange fields
+    _mp1: int = 0
+    _mp2: int = 0
+    _k_tilde: int = 1
+    _own_counter_hash: Tuple[int, ...] = ()
+    _own_full_hash: Tuple[int, ...] = ()
+    _own_mp1_hash: Tuple[int, ...] = ()
+    _own_mp2_hash: Tuple[int, ...] = ()
+
+    # -- message construction ----------------------------------------------------
+
+    @property
+    def message_bits(self) -> int:
+        """Bits per direction per consistency phase (four hashes).
+
+        The message carries hashes of (a) the meeting-points counter ``k``,
+        (b) the full transcript — the "are we consistent?" check the paper
+        describes as happening every consistency phase, (c) the MP1 prefix and
+        (d) the MP2 prefix.
+        """
+        return 4 * self.hasher.output_bits
+
+    def build_message(self, iteration: int, transcript: LinkTranscript) -> List[int]:
+        """Advance ``k`` and produce this phase's outgoing hash message."""
+        self.k += 1
+        self._k_tilde = 1 << (self.k - 1).bit_length()
+        length = transcript.num_chunks
+        self._mp1 = self._k_tilde * (length // self._k_tilde)
+        self._mp2 = max(self._mp1 - self._k_tilde, 0)
+
+        self._own_counter_hash = self._hash_counter(iteration, self.k)
+        self._own_full_hash = self._hash_prefix(iteration, transcript, length)
+        self._own_mp1_hash = self._hash_prefix(iteration, transcript, self._mp1)
+        self._own_mp2_hash = self._hash_prefix(iteration, transcript, self._mp2)
+        return (
+            list(self._own_counter_hash)
+            + list(self._own_full_hash)
+            + list(self._own_mp1_hash)
+            + list(self._own_mp2_hash)
+        )
+
+    # -- reply processing ---------------------------------------------------------
+
+    def process_reply(
+        self,
+        iteration: int,
+        transcript: LinkTranscript,
+        received: Sequence[Symbol],
+    ) -> MeetingPointsOutcome:
+        """Digest the other side's hashes and decide status / truncation."""
+        tau = self.hasher.output_bits
+        their_counter = self._clean_group(received, 0, tau)
+        their_full = self._clean_group(received, tau, tau)
+        their_mp1 = self._clean_group(received, 2 * tau, tau)
+        their_mp2 = self._clean_group(received, 3 * tau, tau)
+
+        outcome = MeetingPointsOutcome(status=STATUS_MEETING_POINTS)
+        outcome.k_agreed = their_counter is not None and their_counter == self._own_counter_hash
+
+        # The "are we consistent?" check happens every consistency phase: if the
+        # full-transcript hashes agree the link looks clean, the search state is
+        # discarded and the party goes back to simulating — even if the two
+        # endpoints had drifted apart in their meeting-points counters (which
+        # happens when noise corrupted one direction of a previous exchange).
+        if their_full is not None and their_full == self._own_full_hash:
+            outcome.status = STATUS_SIMULATE
+            outcome.full_match = True
+            self._reset_counters()
+            self.status = STATUS_SIMULATE
+            return outcome
+
+        if not outcome.k_agreed:
+            # The two endpoints disagree about how long they have been
+            # searching (channel noise, or one of them reset while the other
+            # did not).  Restart the local search: within two phases both
+            # sides are back at k = 1 simultaneously, which prevents the
+            # counters from drifting apart indefinitely.  Each such restart
+            # is caused by (and therefore charged to) a corrupted exchange.
+            self.error_count += 1
+            self.resets += 1
+            self._reset_counters()
+            self.status = STATUS_MEETING_POINTS
+            outcome.reset = True
+            return outcome
+
+        if self.k > 1:
+            if self._own_mp1_hash in (their_mp1, their_mp2):
+                self.mpc1 += 1
+                outcome.vote = "mp1"
+            elif self._own_mp2_hash in (their_mp1, their_mp2):
+                self.mpc2 += 1
+                outcome.vote = "mp2"
+
+        # End-of-scale transition: truncate to a sufficiently supported
+        # meeting point, then start a fresh (shorter) search.
+        if self.k > 1 and self.k == self._k_tilde:
+            if self.mpc1 >= 0.5 * self._k_tilde:
+                outcome.truncate_to = self._mp1
+            elif self.mpc2 >= 0.5 * self._k_tilde:
+                outcome.truncate_to = self._mp2
+            self.mpc1 = 0
+            self.mpc2 = 0
+
+        if outcome.truncate_to is not None:
+            self.truncations += 1
+            self._reset_counters()
+
+        self.status = STATUS_MEETING_POINTS
+        outcome.status = STATUS_MEETING_POINTS
+        return outcome
+
+    # -- internals ----------------------------------------------------------------
+
+    def _reset_counters(self) -> None:
+        self.k = 0
+        self.error_count = 0
+        self.mpc1 = 0
+        self.mpc2 = 0
+
+    @staticmethod
+    def _clean_group(received: Sequence[Symbol], start: int, length: int) -> Optional[Tuple[int, ...]]:
+        """Extract a hash from the received symbols; ``None`` if any bit is missing."""
+        group = list(received[start:start + length])
+        if len(group) < length or any(symbol is None for symbol in group):
+            return None
+        return tuple(int(symbol) for symbol in group)
+
+    def _hash_counter(self, iteration: int, value: int) -> Tuple[int, ...]:
+        seed = self.seed_source.seed_for(
+            iteration, "mp_counter", self.hasher.seed_bits_required(_COUNTER_BITS)
+        )
+        digest = self.hasher.digest(value & ((1 << _COUNTER_BITS) - 1), _COUNTER_BITS, seed)
+        return self._unpack(digest)
+
+    def _hash_prefix(self, iteration: int, transcript: LinkTranscript, num_chunks: int) -> Tuple[int, ...]:
+        serialized = transcript.serialize_prefix(num_chunks)
+        if self.hash_input_mode == "raw" and len(serialized) * 8 <= _RAW_INPUT_CAP_BITS:
+            bits = bytes_to_bits(serialized)
+            value = 0
+            for index, bit in enumerate(bits):
+                if bit:
+                    value |= 1 << index
+            input_bits = _RAW_INPUT_CAP_BITS
+        else:
+            value = fingerprint_bits(serialized)
+            input_bits = FINGERPRINT_BITS
+        seed = self.seed_source.seed_for(
+            iteration, "mp_prefix", self.hasher.seed_bits_required(input_bits)
+        )
+        digest = self.hasher.digest(value, input_bits, seed)
+        return self._unpack(digest)
+
+    def _unpack(self, digest: int) -> Tuple[int, ...]:
+        return tuple((digest >> j) & 1 for j in range(self.hasher.output_bits))

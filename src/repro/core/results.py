@@ -1,0 +1,67 @@
+"""Result objects returned by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import RunMetrics
+from repro.analysis.potential import PotentialTrace
+from repro.core.parameters import SchemeParameters
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable about one run of the noise-resilient simulation.
+
+    ``success`` is the paper's notion of correct simulation: every party's
+    output under the coding scheme equals its output in the noiseless
+    reference execution of Π.
+    """
+
+    scheme: SchemeParameters
+    success: bool
+    outputs: Dict[int, object]
+    reference_outputs: Dict[int, object]
+    metrics: RunMetrics
+    channel_summary: Dict[str, float]
+    iterations_run: int
+    iterations_budget: int
+    num_real_chunks: int
+    final_link_agreement: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    potential_trace: Optional[PotentialTrace] = None
+    randomness_exchange_agreed: Dict[Tuple[int, int], bool] = field(default_factory=dict)
+
+    def failed_parties(self) -> List[int]:
+        """Parties whose simulated output differs from the noiseless one."""
+        return sorted(
+            party
+            for party, output in self.reference_outputs.items()
+            if self.outputs.get(party) != output
+        )
+
+    @property
+    def overhead(self) -> float:
+        """Communication blow-up factor CC(simulation)/CC(Π)."""
+        return self.metrics.overhead
+
+    @property
+    def rate(self) -> float:
+        """Communication rate CC(Π)/CC(simulation)."""
+        return self.metrics.rate
+
+    @property
+    def noise_fraction(self) -> float:
+        return self.metrics.noise_fraction
+
+    def summary(self) -> Dict[str, object]:
+        """A compact dictionary for reports, sweeps and benchmarks."""
+        data = self.metrics.as_dict()
+        data.update(
+            {
+                "iterations_budget": self.iterations_budget,
+                "num_real_chunks": self.num_real_chunks,
+                "failed_parties": self.failed_parties(),
+            }
+        )
+        return data

@@ -1,0 +1,94 @@
+"""Generic experiment harness: repeated randomised trials and sweeps.
+
+Every experiment in this package reduces to: pick a workload, a scheme and an
+adversary *factory* (a callable that builds a fresh adversary per trial, so
+each trial sees fresh noise randomness), run several seeds, and aggregate the
+outcomes.  ``run_trials`` does exactly that and returns both the individual
+:class:`RunMetrics` and the :class:`AggregateMetrics` summary; ``sweep`` maps
+the same procedure over a parameter grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.adversary.base import Adversary, NoiselessAdversary
+from repro.analysis.metrics import AggregateMetrics, RunMetrics, summarize_runs
+from repro.core.engine import simulate
+from repro.core.parameters import SchemeParameters
+from repro.experiments.workloads import Workload
+
+AdversaryFactory = Callable[[int], Adversary]
+
+
+def noiseless_factory(_: int) -> Adversary:
+    """The default adversary factory: no noise."""
+    return NoiselessAdversary()
+
+
+@dataclass
+class TrialSet:
+    """All results of one experimental cell (fixed workload/scheme/adversary)."""
+
+    label: str
+    runs: List[RunMetrics]
+    aggregate: AggregateMetrics
+
+    def as_dict(self) -> Dict[str, object]:
+        data = self.aggregate.as_dict()
+        data["label"] = self.label
+        return data
+
+
+def run_trials(
+    workload: Workload,
+    scheme: SchemeParameters,
+    adversary_factory: AdversaryFactory = noiseless_factory,
+    trials: int = 3,
+    base_seed: int = 0,
+    label: Optional[str] = None,
+) -> TrialSet:
+    """Run ``trials`` independent simulations of one configuration."""
+    if trials < 1:
+        raise ValueError("trials must be positive")
+    runs: List[RunMetrics] = []
+    for trial in range(trials):
+        seed = base_seed + 1000 * trial + 17
+        adversary = adversary_factory(seed)
+        result = simulate(workload.protocol, scheme=scheme, adversary=adversary, seed=seed)
+        runs.append(result.metrics)
+    name = label if label is not None else f"{workload.name}/{scheme.name}"
+    return TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
+
+
+def sweep(
+    cells: Iterable[Dict[str, object]],
+    runner: Callable[..., TrialSet],
+) -> List[TrialSet]:
+    """Run a list of keyword-argument cells through ``runner`` and collect results."""
+    return [runner(**cell) for cell in cells]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render result dictionaries as a fixed-width text table (for examples/CLI)."""
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[Dict[str, str]] = []
+    for row in rows:
+        rendered: Dict[str, str] = {}
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            rendered[column] = text
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    separator = "  ".join("-" * widths[column] for column in columns)
+    body = [
+        "  ".join(rendered[column].ljust(widths[column]) for column in columns)
+        for rendered in rendered_rows
+    ]
+    return "\n".join([header, separator, *body])

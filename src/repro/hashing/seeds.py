@@ -1,0 +1,109 @@
+"""Per-link hash-seed management.
+
+Every meeting-points exchange on a link needs fresh hash seeds that both
+endpoints agree on.  The paper offers two ways to obtain them:
+
+* a **common random string** (CRS) shared by all parties and unknown to the
+  adversary (Algorithm 1 / Theorem 1.1, and Algorithm C), and
+* a per-link **randomness exchange** (Algorithm 5): one endpoint samples a
+  short uniform seed, sends it through an error-correcting code, and both
+  endpoints expand their (hopefully equal) seeds into a long δ-biased string
+  (Algorithm A / B).
+
+``SeedSource`` abstracts "give me the seed bits for iteration *i* and purpose
+*p* on this link"; the engine instantiates one source per (party, incident
+link).  Two endpoints produce identical bits iff they hold identical
+underlying randomness, which is exactly the property the analysis needs: a
+corrupted randomness exchange desynchronises every subsequent hash comparison
+on that link (the ``E \\ E'`` case of Section 5).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.hashing.small_bias import SmallBiasGenerator
+from repro.utils.rng import fork, random_bitstring_int
+
+#: Purposes for which per-iteration seeds are drawn, with fixed indices so
+#: both endpoints carve identical ranges out of the expanded string.
+SEED_PURPOSES: Tuple[str, ...] = ("mp_counter", "mp_prefix", "extra")
+
+
+class SeedSource(abc.ABC):
+    """Produces per-(iteration, purpose) hash seeds for one link."""
+
+    @abc.abstractmethod
+    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
+        """Return ``length_bits`` seed bits (packed) for the given slot."""
+
+    @staticmethod
+    def _purpose_index(purpose: str) -> int:
+        try:
+            return SEED_PURPOSES.index(purpose)
+        except ValueError as exc:
+            raise ValueError(f"unknown seed purpose {purpose!r}; known: {SEED_PURPOSES}") from exc
+
+
+@dataclass
+class CrsSeedSource(SeedSource):
+    """Seeds derived from a common random string.
+
+    ``master_seed`` models the CRS; both endpoints of a link construct the
+    source with the same master seed and the same canonical link, so they
+    derive identical uniform bits.  The adversary never gets access to the
+    object, which models obliviousness to the CRS.
+    """
+
+    master_seed: int
+    link: Tuple[int, int]
+    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+
+    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
+        self._purpose_index(purpose)
+        key = (iteration, purpose, length_bits)
+        if key not in self._cache:
+            rng = fork(self.master_seed, f"crs|{self.link}|{iteration}|{purpose}")
+            self._cache[key] = random_bitstring_int(rng, length_bits)
+        return self._cache[key]
+
+
+@dataclass
+class ExchangedSeedSource(SeedSource):
+    """Seeds carved out of a δ-biased string expanded from a short link seed.
+
+    ``link_seed`` is the (decoded) short seed this endpoint holds after the
+    randomness exchange; if the exchange was corrupted the two endpoints hold
+    different seeds and their hash comparisons will keep failing, which is the
+    behaviour Section 5 accounts for.
+
+    ``slot_capacity_bits`` is the fixed budget of δ-biased bits reserved per
+    (iteration, purpose) slot; the same deterministic layout is used by both
+    endpoints, so no coordination is needed.
+    """
+
+    link_seed: int
+    field_degree: int = 64
+    slot_capacity_bits: int = 4096
+    _generator: SmallBiasGenerator = field(init=False)
+    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._generator = SmallBiasGenerator(seed_bits=self.link_seed, field_degree=self.field_degree)
+
+    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        if length_bits > self.slot_capacity_bits:
+            raise ValueError(
+                f"requested {length_bits} seed bits but each slot only holds "
+                f"{self.slot_capacity_bits}; increase slot_capacity_bits"
+            )
+        purpose_index = self._purpose_index(purpose)
+        key = (iteration, purpose, length_bits)
+        if key not in self._cache:
+            offset = (iteration * len(SEED_PURPOSES) + purpose_index) * self.slot_capacity_bits
+            self._cache[key] = self._generator.packed_bits(offset, length_bits)
+        return self._cache[key]

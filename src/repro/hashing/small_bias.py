@@ -1,0 +1,111 @@
+"""δ-biased (small-bias) pseudorandom strings.
+
+Algorithm A/B replace the long common random string with a short seed that
+both endpoints of a link expand into a δ-biased string (paper §2.3,
+Lemma 2.5, citing Naor–Naor and Alon–Goldreich–Håstad–Peres).  We implement
+the AGHP *powering construction*:
+
+    seed = (x, y) with x, y ∈ GF(2^r);   bit_i = ⟨x, y^i⟩
+
+where ⟨·,·⟩ is the GF(2) inner product of coefficient vectors.  The bias of
+the first ℓ bits of this generator is at most ℓ / 2^r, so choosing
+``r = Θ(log(ℓ/δ))`` gives a δ-biased distribution from a 2r-bit seed —
+matching the seed length ``Θ(log(1/δ) + log ℓ)`` of Lemma 2.5.
+
+``SmallBiasGenerator`` supports random access (``bit(i)``) and efficient
+sequential block generation (``packed_bits``), which is what the seed
+manager uses to carve per-iteration hash seeds out of the expanded string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hashing.gf2m import GF2m
+from repro.utils.bitstring import int_to_bits
+
+
+def required_field_degree(output_length: int, delta: float) -> int:
+    """Smallest supported field degree giving bias <= ``delta`` for ``output_length`` bits."""
+    if output_length <= 0:
+        raise ValueError("output_length must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    for degree in (8, 16, 32, 64, 128):
+        # bias of the first ℓ bits of the powering construction is <= ℓ / 2^r
+        if output_length / (2.0 ** degree) <= delta:
+            return degree
+    raise ValueError("requested bias is too small for the supported field degrees")
+
+
+def seed_length_bits(field_degree: int) -> int:
+    """Number of uniform seed bits consumed by the generator (two field elements)."""
+    return 2 * field_degree
+
+
+@dataclass
+class SmallBiasGenerator:
+    """AGHP powering-construction generator for a δ-biased bit string."""
+
+    seed_bits: int
+    field_degree: int = 64
+
+    def __post_init__(self) -> None:
+        self.field = GF2m(self.field_degree)
+        mask = self.field.order - 1
+        self.x = self.seed_bits & mask
+        self.y = (self.seed_bits >> self.field_degree) & mask
+        # A zero x would make the whole string zero and a zero y would make it
+        # constant after the first bit; both still satisfy the bias bound on
+        # average over seeds, but we keep them as-is for faithfulness (the
+        # probability of drawing them is 2^-r).
+
+    @classmethod
+    def from_bit_list(cls, bits: List[int], field_degree: int = 64) -> "SmallBiasGenerator":
+        """Build a generator from an explicit list of seed bits (LSB first)."""
+        if len(bits) < seed_length_bits(field_degree):
+            raise ValueError(
+                f"need {seed_length_bits(field_degree)} seed bits, got {len(bits)}"
+            )
+        value = 0
+        for index, bit in enumerate(bits[: seed_length_bits(field_degree)]):
+            if bit:
+                value |= 1 << index
+        return cls(seed_bits=value, field_degree=field_degree)
+
+    # -- bit access ---------------------------------------------------------------
+
+    def bit(self, index: int) -> int:
+        """The ``index``-th bit of the expanded string (random access)."""
+        if index < 0:
+            raise ValueError("index must be non-negative")
+        power = self.field.pow(self.y, index)
+        return GF2m.inner_product_bit(self.x, power)
+
+    def bits(self, offset: int, count: int) -> List[int]:
+        """``count`` consecutive bits starting at ``offset`` (sequential generation)."""
+        if offset < 0 or count < 0:
+            raise ValueError("offset and count must be non-negative")
+        out: List[int] = []
+        power = self.field.pow(self.y, offset)
+        for _ in range(count):
+            out.append(GF2m.inner_product_bit(self.x, power))
+            power = self.field.mul(power, self.y)
+        return out
+
+    def packed_bits(self, offset: int, count: int) -> int:
+        """Same as :meth:`bits` but packed into an integer (bit 0 = first bit)."""
+        value = 0
+        for position, bit in enumerate(self.bits(offset, count)):
+            if bit:
+                value |= 1 << position
+        return value
+
+
+def empirical_bias(bits: List[int]) -> float:
+    """|Pr[parity = 0] - 1/2| of the given sample — used by tests and benchmarks."""
+    if not bits:
+        raise ValueError("need at least one bit")
+    zeros = sum(1 for bit in bits if bit == 0)
+    return abs(zeros / len(bits) - 0.5)

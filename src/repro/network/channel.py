@@ -1,0 +1,131 @@
+"""Channel primitives: symbols, transmission contexts and statistics.
+
+The communication model (paper §2.1) is synchronous: in every round every
+link may carry at most one symbol from the alphabet Σ (here Σ = {0, 1}) in
+each direction, and a party may also stay silent.  A transmission is the
+event of actually sending a symbol; the channel function is
+
+    Ch : Σ ∪ {*} -> Σ ∪ {*}
+
+where ``*`` ("no message") is represented by ``None`` throughout the code.
+A corruption is any slot where the received value differs from the sent one:
+
+* substitution — ``0 -> 1`` or ``1 -> 0``;
+* deletion     — a symbol was sent but ``None`` is delivered;
+* insertion    — nothing was sent but a symbol is delivered.
+
+``ChannelStats`` keeps the accounting that the theorems are stated in terms
+of: the total number of transmissions (the communication complexity ``CC``),
+the number of corruptions of each kind, and per-phase breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+Symbol = Optional[int]  # 0, 1 or None (silence / the paper's "*")
+
+#: Encoding used by the additive adversary of the paper (§2.1, "additive
+#: adversary"): symbols are mapped to Z_3 with ``None`` encoded as 2, the
+#: adversary adds an offset in {0, 1, 2} mod 3, and the result is mapped back.
+SYMBOL_TO_TRIT = {0: 0, 1: 1, None: 2}
+TRIT_TO_SYMBOL = {0: 0, 1: 1, 2: None}
+
+
+def apply_additive_noise(sent: Symbol, offset: int) -> Symbol:
+    """Apply an additive-adversary offset (mod 3) to a channel symbol."""
+    if offset not in (0, 1, 2):
+        raise ValueError(f"additive offset must be in {{0,1,2}}, got {offset}")
+    return TRIT_TO_SYMBOL[(SYMBOL_TO_TRIT[sent] + offset) % 3]
+
+
+def classify_corruption(sent: Symbol, received: Symbol) -> Optional[str]:
+    """Return 'substitution' / 'deletion' / 'insertion' or ``None`` if clean."""
+    if sent == received:
+        return None
+    if sent is None:
+        return "insertion"
+    if received is None:
+        return "deletion"
+    return "substitution"
+
+
+@dataclass(frozen=True)
+class TransmissionContext:
+    """Metadata describing one channel slot (one round, one directed link).
+
+    Adversaries receive this context when deciding whether to corrupt a slot.
+    ``phase`` is one of ``"randomness_exchange"``, ``"meeting_points"``,
+    ``"flag_passing"``, ``"simulation"``, ``"rewind"`` or ``"baseline"``;
+    ``iteration`` is the index of the outer iteration of Algorithm 1 (or -1
+    outside the main loop).
+    """
+
+    round_index: int
+    sender: int
+    receiver: int
+    phase: str
+    iteration: int = -1
+    slot_index: int = 0
+
+
+@dataclass
+class ChannelStats:
+    """Running totals of transmissions and corruptions."""
+
+    transmissions: int = 0
+    delivered_symbols: int = 0
+    substitutions: int = 0
+    deletions: int = 0
+    insertions: int = 0
+    transmissions_by_phase: Dict[str, int] = field(default_factory=dict)
+    corruptions_by_phase: Dict[str, int] = field(default_factory=dict)
+    corruptions_by_link: Dict[tuple, int] = field(default_factory=dict)
+
+    @property
+    def corruptions(self) -> int:
+        """Total number of corrupted slots (each counts once, per the paper)."""
+        return self.substitutions + self.deletions + self.insertions
+
+    @property
+    def communication_bits(self) -> int:
+        """Communication complexity in bits (|Σ| = 2, so 1 bit per transmission)."""
+        return self.transmissions
+
+    def noise_fraction(self) -> float:
+        """Fraction of corrupted transmissions (0 when nothing was sent)."""
+        if self.transmissions == 0:
+            return 0.0
+        return self.corruptions / self.transmissions
+
+    def record(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
+        """Account one channel slot."""
+        if sent is not None:
+            self.transmissions += 1
+            self.transmissions_by_phase[ctx.phase] = self.transmissions_by_phase.get(ctx.phase, 0) + 1
+        if received is not None:
+            self.delivered_symbols += 1
+        kind = classify_corruption(sent, received)
+        if kind is None:
+            return
+        if kind == "substitution":
+            self.substitutions += 1
+        elif kind == "deletion":
+            self.deletions += 1
+        else:
+            self.insertions += 1
+        self.corruptions_by_phase[ctx.phase] = self.corruptions_by_phase.get(ctx.phase, 0) + 1
+        link = (ctx.sender, ctx.receiver)
+        self.corruptions_by_link[link] = self.corruptions_by_link.get(link, 0) + 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict summary convenient for reports and benchmarks."""
+        return {
+            "transmissions": self.transmissions,
+            "corruptions": self.corruptions,
+            "substitutions": self.substitutions,
+            "deletions": self.deletions,
+            "insertions": self.insertions,
+            "noise_fraction": self.noise_fraction(),
+        }

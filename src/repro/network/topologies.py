@@ -1,0 +1,130 @@
+"""Topology generators.
+
+The paper's results hold for arbitrary connected topologies; its discussion
+keeps returning to a few canonical families (the line of the §1.2 example,
+the star of JKL15, the clique of ABGEH16, bounded-degree graphs of RS94).
+These generators produce those families plus grids, binary trees and
+connected Erdős–Rényi graphs for randomized sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.graph import Graph
+from repro.utils.rng import make_rng
+
+
+def line_topology(num_nodes: int) -> Graph:
+    """The path graph 1-2-...-n used in the paper's motivating example."""
+    _require_nodes(num_nodes, minimum=2)
+    return Graph.from_edges(num_nodes, [(i, i + 1) for i in range(num_nodes - 1)])
+
+
+def ring_topology(num_nodes: int) -> Graph:
+    """A cycle; the constant-degree graph discussed by Gelles-Kalai (GK17)."""
+    _require_nodes(num_nodes, minimum=3)
+    edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+    return Graph.from_edges(num_nodes, edges)
+
+
+def star_topology(num_nodes: int) -> Graph:
+    """A star with node 0 as the centre (the JKL15 topology)."""
+    _require_nodes(num_nodes, minimum=2)
+    return Graph.from_edges(num_nodes, [(0, i) for i in range(1, num_nodes)])
+
+
+def complete_topology(num_nodes: int) -> Graph:
+    """The clique K_n (the ABGEH16 topology)."""
+    _require_nodes(num_nodes, minimum=2)
+    edges = [(i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)]
+    return Graph.from_edges(num_nodes, edges)
+
+
+def grid_topology(rows: int, cols: int) -> Graph:
+    """A rows x cols grid graph."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if rows * cols < 2:
+        raise ValueError("grid must have at least two nodes")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Graph.from_edges(rows * cols, edges)
+
+
+def binary_tree_topology(num_nodes: int) -> Graph:
+    """A complete-ish binary tree with nodes 0..n-1 (heap indexing)."""
+    _require_nodes(num_nodes, minimum=2)
+    edges = []
+    for child in range(1, num_nodes):
+        parent = (child - 1) // 2
+        edges.append((parent, child))
+    return Graph.from_edges(num_nodes, edges)
+
+
+def random_connected_topology(
+    num_nodes: int,
+    edge_probability: float = 0.3,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> Graph:
+    """A connected Erdős–Rényi-style graph.
+
+    A uniformly random spanning tree (random Prüfer-free incremental
+    attachment) guarantees connectivity; every other pair is added
+    independently with probability ``edge_probability``.
+    """
+    _require_nodes(num_nodes, minimum=2)
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must lie in [0, 1]")
+    generator = rng if rng is not None else make_rng(seed)
+    graph = Graph(num_nodes)
+    # Random attachment tree for connectivity.
+    order = list(range(num_nodes))
+    generator.shuffle(order)
+    for index in range(1, num_nodes):
+        attach_to = order[generator.randrange(index)]
+        graph.add_edge(order[index], attach_to)
+    # Extra random edges.
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if not graph.has_edge(u, v) and generator.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+TOPOLOGY_BUILDERS = {
+    "line": line_topology,
+    "ring": ring_topology,
+    "star": star_topology,
+    "clique": complete_topology,
+    "binary_tree": binary_tree_topology,
+}
+
+
+def build_topology(name: str, num_nodes: int, seed: int = 0) -> Graph:
+    """Build a named topology; ``random`` accepts a seed for reproducibility."""
+    if name == "random":
+        return random_connected_topology(num_nodes, seed=seed)
+    if name == "grid":
+        # Closest-to-square grid with the requested number of nodes (>= num_nodes).
+        rows = max(1, int(num_nodes ** 0.5))
+        cols = (num_nodes + rows - 1) // rows
+        return grid_topology(rows, cols)
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS) + ['random', 'grid']}") from exc
+    return builder(num_nodes)
+
+
+def _require_nodes(num_nodes: int, minimum: int) -> None:
+    if num_nodes < minimum:
+        raise ValueError(f"topology requires at least {minimum} nodes, got {num_nodes}")

@@ -1,0 +1,21 @@
+"""Noiseless protocols Π with fixed speaking order, plus concrete workloads."""
+
+from repro.protocols.aggregation import AggregationProtocol
+from repro.protocols.base import NoiselessExecution, PartyLogic, Protocol, ReceivedMap
+from repro.protocols.gossip import PairwiseExchangeProtocol, ParityGossipProtocol
+from repro.protocols.line_example import LineExampleProtocol
+from repro.protocols.random_protocol import RandomProtocol
+from repro.protocols.token_ring import TokenRingProtocol
+
+__all__ = [
+    "AggregationProtocol",
+    "NoiselessExecution",
+    "PartyLogic",
+    "Protocol",
+    "ReceivedMap",
+    "PairwiseExchangeProtocol",
+    "ParityGossipProtocol",
+    "LineExampleProtocol",
+    "RandomProtocol",
+    "TokenRingProtocol",
+]

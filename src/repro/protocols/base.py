@@ -1,0 +1,142 @@
+"""The noiseless multiparty protocol model Π.
+
+The paper (§2.1) assumes an underlying protocol with a *fixed speaking
+order*: which directed link carries a transmission in which round is known in
+advance and independent of inputs; only the transmitted contents depend on
+inputs and on previously received bits.  The coding scheme needs exactly two
+capabilities from Π:
+
+* the fixed schedule (to partition Π into chunks and to know, while
+  simulating chunk ``c``, which link speaks at which round), and
+* the ability to recompute "the bit party ``u`` sends on link ``(u, v)`` in
+  round ``r``" from the bits ``u`` has received so far — because after a
+  rewind the scheme re-simulates chunks from whatever (possibly corrupted)
+  partial transcripts the party holds.
+
+``PartyLogic.send_bit`` is therefore written as a *pure function of the
+received map*, which makes replay after rewinds trivial and keeps party
+implementations honest about using only causally available information
+(the engine only ever passes receptions from earlier rounds).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.graph import DirectedEdge, Graph
+
+#: (round_index, sender) -> received bit.
+ReceivedMap = Dict[Tuple[int, int], int]
+
+
+class PartyLogic(abc.ABC):
+    """The local program of one party in the noiseless protocol."""
+
+    def __init__(self, party: int) -> None:
+        self.party = party
+
+    @abc.abstractmethod
+    def send_bit(self, round_index: int, receiver: int, received: ReceivedMap) -> int:
+        """The bit this party sends to ``receiver`` in ``round_index``.
+
+        ``received`` only contains receptions from rounds strictly before
+        ``round_index``.  Must be deterministic.
+        """
+
+    @abc.abstractmethod
+    def compute_output(self, received: ReceivedMap) -> object:
+        """The party's protocol output, computed from everything it received."""
+
+
+class Protocol(abc.ABC):
+    """A noiseless protocol with a fixed speaking order over a graph."""
+
+    def __init__(self, graph: Graph) -> None:
+        graph.validate_connected_simple()
+        self.graph = graph
+        self._schedule: List[List[DirectedEdge]] | None = None
+
+    # -- schedule -----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_schedule(self) -> List[List[DirectedEdge]]:
+        """The fixed speaking order: one list of directed links per round."""
+
+    def schedule(self) -> List[List[DirectedEdge]]:
+        """Cached, validated speaking order."""
+        if self._schedule is None:
+            schedule = self.build_schedule()
+            for round_index, transmissions in enumerate(schedule):
+                seen = set()
+                for sender, receiver in transmissions:
+                    if not self.graph.has_edge(sender, receiver):
+                        raise ValueError(
+                            f"round {round_index} schedules ({sender}, {receiver}) "
+                            "which is not a link of the graph"
+                        )
+                    if (sender, receiver) in seen:
+                        raise ValueError(
+                            f"round {round_index} schedules ({sender}, {receiver}) twice; "
+                            "a link carries at most one symbol per direction per round"
+                        )
+                    seen.add((sender, receiver))
+            self._schedule = schedule
+        return self._schedule
+
+    @abc.abstractmethod
+    def create_party(self, party: int) -> PartyLogic:
+        """Instantiate the local program of ``party`` (bound to its input)."""
+
+    # -- derived quantities ----------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.schedule())
+
+    def communication_complexity(self) -> int:
+        """CC(Π): the total number of transmissions (= bits, since Σ = {0,1})."""
+        return sum(len(transmissions) for transmissions in self.schedule())
+
+    def transmissions_on_link(self, u: int, v: int) -> int:
+        """Number of transmissions scheduled on the undirected link {u, v}."""
+        count = 0
+        for transmissions in self.schedule():
+            for sender, receiver in transmissions:
+                if {sender, receiver} == {u, v}:
+                    count += 1
+        return count
+
+    # -- reference execution ------------------------------------------------------------
+
+    def run_noiseless(self) -> "NoiselessExecution":
+        """Execute Π over a perfect network; the ground truth for experiments."""
+        parties = {party: self.create_party(party) for party in self.graph.nodes}
+        received: Dict[int, ReceivedMap] = {party: {} for party in self.graph.nodes}
+        sent: Dict[int, ReceivedMap] = {party: {} for party in self.graph.nodes}
+        for round_index, transmissions in enumerate(self.schedule()):
+            outgoing: List[Tuple[int, int, int]] = []
+            for sender, receiver in transmissions:
+                bit = parties[sender].send_bit(round_index, receiver, received[sender])
+                if bit not in (0, 1):
+                    raise ValueError(
+                        f"party {sender} produced a non-binary bit {bit!r} in round {round_index}"
+                    )
+                outgoing.append((sender, receiver, bit))
+            for sender, receiver, bit in outgoing:
+                received[receiver][(round_index, sender)] = bit
+                sent[sender][(round_index, receiver)] = bit
+        outputs = {
+            party: parties[party].compute_output(received[party]) for party in self.graph.nodes
+        }
+        return NoiselessExecution(outputs=outputs, received=received, sent=sent)
+
+
+@dataclass
+class NoiselessExecution:
+    """The result of running Π over a noiseless network."""
+
+    outputs: Dict[int, object]
+    received: Dict[int, ReceivedMap]
+    sent: Dict[int, ReceivedMap]

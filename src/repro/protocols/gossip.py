@@ -1,0 +1,106 @@
+"""Dense, fully-utilised workloads: parity gossip and pairwise exchange.
+
+``ParityGossipProtocol`` is the canonical fully-utilised workload: in every
+phase every party sends, to every neighbour, the XOR of its input bit with
+everything it heard in the previous phase.  After enough phases the parity
+information of the whole network has mixed; each party outputs the vector of
+bits it received in the final phase together with its running parity.  The
+protocol exercises the regime the paper contrasts with sparse protocols —
+``CC(Π) = 2m · phases`` and ``RC(Π) = phases``.
+
+``PairwiseExchangeProtocol`` is the smallest non-trivial protocol (one round,
+every party tells every neighbour its input bit); it is used by quickstart
+examples and as a fast smoke-test workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.network.graph import DirectedEdge, Graph
+from repro.protocols.base import PartyLogic, Protocol, ReceivedMap
+
+
+class _ParityGossipParty(PartyLogic):
+    def __init__(self, party: int, input_bit: int, neighbors: Sequence[int], phases: int) -> None:
+        super().__init__(party)
+        if input_bit not in (0, 1):
+            raise ValueError("input bits must be 0 or 1")
+        self.input_bit = input_bit
+        self.neighbors = list(neighbors)
+        self.phases = phases
+
+    def _bit_for_phase(self, phase: int, received: ReceivedMap) -> int:
+        """The bit broadcast in ``phase``: input XOR everything heard in phase-1."""
+        bit = self.input_bit
+        if phase > 0:
+            for neighbor in self.neighbors:
+                bit ^= received.get((phase - 1, neighbor), 0)
+        return bit
+
+    def send_bit(self, round_index: int, receiver: int, received: ReceivedMap) -> int:
+        return self._bit_for_phase(round_index, received)
+
+    def compute_output(self, received: ReceivedMap) -> object:
+        last_phase = self.phases - 1
+        final_view = tuple(received.get((last_phase, neighbor), 0) for neighbor in self.neighbors)
+        running_parity = self.input_bit
+        for bit in received.values():
+            running_parity ^= bit
+        return (final_view, running_parity)
+
+
+class ParityGossipProtocol(Protocol):
+    """``phases`` rounds of all-neighbour parity gossip."""
+
+    def __init__(self, graph: Graph, inputs: Dict[int, int], phases: int = 4) -> None:
+        super().__init__(graph)
+        if phases < 1:
+            raise ValueError("phases must be positive")
+        missing = [party for party in graph.nodes if party not in inputs]
+        if missing:
+            raise ValueError(f"missing inputs for parties {missing}")
+        self.inputs = dict(inputs)
+        self.phases = phases
+
+    def build_schedule(self) -> List[List[DirectedEdge]]:
+        every_direction = self.graph.directed_edges()
+        return [list(every_direction) for _ in range(self.phases)]
+
+    def create_party(self, party: int) -> PartyLogic:
+        return _ParityGossipParty(
+            party,
+            self.inputs[party],
+            self.graph.neighbors(party),
+            self.phases,
+        )
+
+
+class _PairwiseExchangeParty(PartyLogic):
+    def __init__(self, party: int, input_bit: int, neighbors: Sequence[int]) -> None:
+        super().__init__(party)
+        self.input_bit = input_bit
+        self.neighbors = list(neighbors)
+
+    def send_bit(self, round_index: int, receiver: int, received: ReceivedMap) -> int:
+        return self.input_bit
+
+    def compute_output(self, received: ReceivedMap) -> object:
+        return tuple(received.get((0, neighbor), 0) for neighbor in self.neighbors)
+
+
+class PairwiseExchangeProtocol(Protocol):
+    """One round: every party announces its input bit to all neighbours."""
+
+    def __init__(self, graph: Graph, inputs: Dict[int, int]) -> None:
+        super().__init__(graph)
+        missing = [party for party in graph.nodes if party not in inputs]
+        if missing:
+            raise ValueError(f"missing inputs for parties {missing}")
+        self.inputs = dict(inputs)
+
+    def build_schedule(self) -> List[List[DirectedEdge]]:
+        return [self.graph.directed_edges()]
+
+    def create_party(self, party: int) -> PartyLogic:
+        return _PairwiseExchangeParty(party, self.inputs[party], self.graph.neighbors(party))

@@ -1,0 +1,96 @@
+"""Randomly generated protocols with a fixed speaking order.
+
+Property-based tests and sweeps need protocols with no exploitable structure:
+every transmitted bit depends on the sender's input and on everything it has
+received, and every party's output is its entire received transcript — so any
+uncorrected corruption of the simulation shows up as a wrong output.
+
+The *schedule* is drawn once from a seed (and is therefore fixed and
+input-independent, as the paper requires); the *contents* are a deterministic
+pseudo-random function of the sender's input and received history, evaluated
+with a keyed BLAKE2 digest so noiseless re-execution is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.network.graph import DirectedEdge, Graph
+from repro.protocols.base import PartyLogic, Protocol, ReceivedMap
+from repro.utils.rng import make_rng
+
+
+def _prf_bit(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=1).digest()
+    return digest[0] & 1
+
+
+class _RandomProtocolParty(PartyLogic):
+    def __init__(self, party: int, input_value: int) -> None:
+        super().__init__(party)
+        self.input_value = input_value
+
+    def send_bit(self, round_index: int, receiver: int, received: ReceivedMap) -> int:
+        history_parity = 0
+        for bit in received.values():
+            history_parity ^= bit
+        key = f"{self.party}|{self.input_value}|{round_index}|{receiver}|{history_parity}"
+        return _prf_bit(key)
+
+    def compute_output(self, received: ReceivedMap) -> object:
+        return tuple(sorted(received.items()))
+
+
+class RandomProtocol(Protocol):
+    """A random sparse-or-dense protocol with full-transcript outputs.
+
+    Parameters
+    ----------
+    graph:
+        The network.
+    inputs:
+        Integer input per party (any range).
+    num_rounds:
+        Number of rounds of the noiseless protocol.
+    density:
+        Probability that a given directed link speaks in a given round.
+    seed:
+        Seed for the schedule (contents are derived from inputs, not this seed).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        inputs: Dict[int, int],
+        num_rounds: int = 16,
+        density: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(graph)
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be positive")
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must lie in (0, 1]")
+        missing = [party for party in graph.nodes if party not in inputs]
+        if missing:
+            raise ValueError(f"missing inputs for parties {missing}")
+        self.inputs = dict(inputs)
+        self.num_schedule_rounds = num_rounds
+        self.density = density
+        self.seed = seed
+
+    def build_schedule(self) -> List[List[DirectedEdge]]:
+        rng = make_rng(self.seed)
+        directed = self.graph.directed_edges()
+        schedule: List[List[DirectedEdge]] = []
+        for _ in range(self.num_schedule_rounds):
+            round_links = [link for link in directed if rng.random() < self.density]
+            schedule.append(round_links)
+        # Make sure the protocol is not completely silent.
+        if all(not round_links for round_links in schedule):
+            schedule[0] = [directed[0]]
+        return schedule
+
+    def create_party(self, party: int) -> PartyLogic:
+        return _RandomProtocolParty(party, self.inputs[party])

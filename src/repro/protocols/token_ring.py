@@ -1,0 +1,102 @@
+"""A token-ring workload: a multi-bit token circulates around a cycle.
+
+Each party holds a ``value_bits``-bit input.  A token starts at party 0 with
+value 0 and travels around the ring ``laps`` times; every party adds its
+input into the token (mod ``2^value_bits``) each time it forwards it.  Every
+party outputs the last token value it observed, so after ``laps`` full laps
+party 0 outputs ``laps * sum(inputs) mod 2^value_bits``.
+
+The protocol is maximally sparse — exactly one link speaks per round — which
+makes it a good stress test for the "non-fully-utilised network" aspects of
+the model (the round complexity is much larger than ``CC/m``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.network.graph import DirectedEdge, Graph
+from repro.protocols.base import PartyLogic, Protocol, ReceivedMap
+
+
+class _TokenRingParty(PartyLogic):
+    def __init__(self, party: int, value: int, value_bits: int, num_parties: int) -> None:
+        super().__init__(party)
+        self.value = value
+        self.value_bits = value_bits
+        self.num_parties = num_parties
+        self.modulus = 1 << value_bits
+
+    def _hop_rounds(self, hop: int) -> List[int]:
+        """The protocol rounds making up the ``hop``-th token transfer."""
+        start = hop * self.value_bits
+        return list(range(start, start + self.value_bits))
+
+    def _token_after_receiving(self, received: ReceivedMap, hop: int) -> int:
+        """Token value this party received on transfer ``hop`` (it is the target)."""
+        sender = (self.party - 1) % self.num_parties
+        value = 0
+        for position, round_index in enumerate(self._hop_rounds(hop)):
+            if received.get((round_index, sender), 0):
+                value |= 1 << position
+        return value
+
+    def send_bit(self, round_index: int, receiver: int, received: ReceivedMap) -> int:
+        hop = round_index // self.value_bits
+        position = round_index % self.value_bits
+        if hop == 0 and self.party == 0:
+            incoming = 0
+        else:
+            incoming = self._token_after_receiving(received, hop - 1)
+        outgoing = (incoming + self.value) % self.modulus
+        return (outgoing >> position) & 1
+
+    def compute_output(self, received: ReceivedMap) -> object:
+        sender = (self.party - 1) % self.num_parties
+        # This party is the receiver of hops congruent to (party - 1) mod n.
+        first_receiving_hop = (self.party - 1) % self.num_parties
+        last_value = None
+        hop = first_receiving_hop
+        while True:
+            rounds = self._hop_rounds(hop)
+            if not any((round_index, sender) in received for round_index in rounds):
+                break
+            last_value = self._token_after_receiving(received, hop)
+            hop += self.num_parties
+        return last_value
+
+
+class TokenRingProtocol(Protocol):
+    """``laps`` circulations of an additive token around a ring."""
+
+    def __init__(self, graph: Graph, inputs: Dict[int, int], value_bits: int = 4, laps: int = 1) -> None:
+        super().__init__(graph)
+        n = graph.num_nodes
+        if n < 3:
+            raise ValueError("a ring needs at least three parties")
+        for i in range(n):
+            if not graph.has_edge(i, (i + 1) % n):
+                raise ValueError("TokenRingProtocol expects a ring topology")
+        missing = [party for party in graph.nodes if party not in inputs]
+        if missing:
+            raise ValueError(f"missing inputs for parties {missing}")
+        for party, value in inputs.items():
+            if not 0 <= value < (1 << value_bits):
+                raise ValueError(f"input of party {party} does not fit in {value_bits} bits")
+        self.inputs = dict(inputs)
+        self.value_bits = value_bits
+        self.laps = max(1, laps)
+
+    def build_schedule(self) -> List[List[DirectedEdge]]:
+        n = self.graph.num_nodes
+        schedule: List[List[DirectedEdge]] = []
+        total_hops = self.laps * n
+        for hop in range(total_hops):
+            sender = hop % n
+            receiver = (sender + 1) % n
+            for _ in range(self.value_bits):
+                schedule.append([(sender, receiver)])
+        return schedule
+
+    def create_party(self, party: int) -> PartyLogic:
+        return _TokenRingParty(party, self.inputs[party], self.value_bits, self.graph.num_nodes)

@@ -1,0 +1,111 @@
+"""Bit-string helpers used across the library.
+
+The interactive-coding machinery manipulates three kinds of low-level data:
+
+* plain bit sequences (``list[int]`` with values in ``{0, 1}``),
+* symbol sequences over the channel alphabet ``{0, 1, None}`` where ``None``
+  stands for the "no message" symbol ``*`` of the paper,
+* compact integer encodings of bit sequences (used by the inner-product hash
+  and by the GF(2^r) arithmetic behind the small-bias generator).
+
+All helpers are pure functions; no module-level mutable state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+Bit = int
+Symbol = Optional[int]  # 0, 1 or None (the "*" / no-message symbol)
+
+
+def bits_to_int(bits: Sequence[Bit]) -> int:
+    """Pack a bit sequence into an integer (bit 0 of the sequence is the LSB).
+
+    >>> bits_to_int([1, 0, 1])
+    5
+    """
+    value = 0
+    for index, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit at index {index} is {bit!r}, expected 0 or 1")
+        if bit:
+            value |= 1 << index
+    return value
+
+
+def int_to_bits(value: int, width: int) -> List[Bit]:
+    """Unpack ``value`` into ``width`` bits, LSB first.
+
+    >>> int_to_bits(5, 4)
+    [1, 0, 1, 0]
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bytes_to_bits(data: bytes) -> List[Bit]:
+    """Expand ``data`` into bits, LSB-first within each byte."""
+    bits: List[Bit] = []
+    for byte in data:
+        for i in range(8):
+            bits.append((byte >> i) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[Bit]) -> bytes:
+    """Pack bits (LSB-first within each byte) into bytes, zero-padding the tail."""
+    out = bytearray()
+    for start in range(0, len(bits), 8):
+        byte = 0
+        for offset, bit in enumerate(bits[start:start + 8]):
+            if bit:
+                byte |= 1 << offset
+        out.append(byte)
+    return bytes(out)
+
+
+def parity(value: int) -> Bit:
+    """Parity (XOR of all bits) of a non-negative integer."""
+    return value.bit_count() & 1
+
+
+def hamming_distance(a: Sequence[Bit], b: Sequence[Bit]) -> int:
+    """Number of positions where ``a`` and ``b`` differ.
+
+    Sequences must have equal length.
+    """
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def xor_bits(a: Sequence[Bit], b: Sequence[Bit]) -> List[Bit]:
+    """Element-wise XOR of two equal-length bit sequences."""
+    if len(a) != len(b):
+        raise ValueError("sequences must have equal length")
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def symbols_to_bits(symbols: Iterable[Symbol], erasure_fill: Bit = 0) -> List[Bit]:
+    """Convert channel symbols to bits, mapping the erasure symbol to a filler.
+
+    The coding scheme records ``None`` (the paper's ``*``) whenever a deletion
+    left a hole in a transcript.  When such a transcript is replayed into the
+    underlying protocol the hole must be filled with *some* bit; the filler is
+    semantically arbitrary because the surrounding machinery will detect and
+    rewind the inconsistency.
+    """
+    return [erasure_fill if s is None else int(s) for s in symbols]
+
+
+def longest_common_prefix_length(a: Sequence, b: Sequence) -> int:
+    """Length of the longest common prefix of two sequences."""
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

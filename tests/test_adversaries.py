@@ -1,0 +1,218 @@
+"""Unit tests for the adversary implementations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import NoiseBudget, NoiselessAdversary
+from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
+from repro.adversary.strategies import (
+    BurstAdversary,
+    CompositeAdversary,
+    DeletionAdversary,
+    EchoSpoofingAdversary,
+    LinkTargetedAdversary,
+    PhaseTargetedAdaptiveAdversary,
+    RandomNoiseAdversary,
+    RotatingLinkAdaptiveAdversary,
+)
+from repro.network.channel import TransmissionContext
+
+
+def _ctx(round_index=0, sender=0, receiver=1, phase="simulation", iteration=0):
+    return TransmissionContext(
+        round_index=round_index, sender=sender, receiver=receiver, phase=phase, iteration=iteration
+    )
+
+
+class TestNoiseBudget:
+    def test_allowance_grows_with_transmissions(self):
+        budget = NoiseBudget(fraction=0.1)
+        assert not budget.can_spend()
+        for _ in range(10):
+            budget.observe_transmission()
+        assert budget.allowed == 1
+        budget.spend()
+        assert not budget.can_spend()
+        assert budget.remaining == 0
+
+    def test_absolute_allowance(self):
+        budget = NoiseBudget(fraction=0.0, absolute_allowance=2)
+        budget.spend()
+        budget.spend()
+        with pytest.raises(RuntimeError):
+            budget.spend()
+
+
+class TestNoiseless:
+    def test_identity(self):
+        adversary = NoiselessAdversary()
+        assert adversary.corrupt(_ctx(), 1) == 1
+        assert adversary.corrupt(_ctx(), None) is None
+        assert adversary.may_insert is False
+
+
+class TestAdditiveOblivious:
+    def test_pattern_applies_only_on_listed_slots(self):
+        adversary = AdditiveObliviousAdversary(pattern={(0, 0, 1): 1})
+        assert adversary.corrupt(_ctx(round_index=0), 0) == 1
+        assert adversary.corrupt(_ctx(round_index=1), 0) == 0
+
+    def test_pattern_can_delete_and_insert(self):
+        adversary = AdditiveObliviousAdversary(pattern={(0, 0, 1): 1, (1, 0, 1): 2})
+        assert adversary.corrupt(_ctx(round_index=1), 0) is None  # 0 + 2 = 2 -> silence
+        assert adversary.corrupt(_ctx(round_index=0), None) == 0  # silence + 1 -> 0
+
+    def test_rejects_zero_offset(self):
+        with pytest.raises(ValueError):
+            AdditiveObliviousAdversary(pattern={(0, 0, 1): 0})
+
+    def test_planned_corruptions(self):
+        adversary = AdditiveObliviousAdversary(pattern={(0, 0, 1): 1, (3, 1, 0): 2})
+        assert adversary.planned_corruptions() == 2
+
+
+class TestFixingOblivious:
+    def test_fixes_output(self):
+        adversary = FixingObliviousAdversary(pattern={(0, 0, 1): 1, (1, 0, 1): None})
+        assert adversary.corrupt(_ctx(round_index=0), 0) == 1
+        assert adversary.corrupt(_ctx(round_index=1), 1) is None
+        assert adversary.corrupt(_ctx(round_index=2), 0) == 0
+
+    def test_fixing_to_honest_value_is_not_a_corruption(self):
+        adversary = FixingObliviousAdversary(pattern={(0, 0, 1): 1})
+        assert adversary.corrupt(_ctx(round_index=0), 1) == 1
+
+
+class TestRandomNoise:
+    def test_zero_probability_never_corrupts(self):
+        adversary = RandomNoiseAdversary(corruption_probability=0.0, seed=1)
+        assert all(adversary.corrupt(_ctx(round_index=i), 1) == 1 for i in range(50))
+
+    def test_full_probability_always_corrupts(self):
+        adversary = RandomNoiseAdversary(corruption_probability=1.0, seed=1)
+        assert all(adversary.corrupt(_ctx(round_index=i), 1) != 1 for i in range(50))
+
+    def test_budget_capped(self):
+        budget = NoiseBudget(fraction=0.0, absolute_allowance=2)
+        adversary = RandomNoiseAdversary(corruption_probability=1.0, seed=1, budget=budget)
+        corrupted = sum(1 for i in range(20) if adversary.corrupt(_ctx(round_index=i), 1) != 1)
+        assert corrupted == 2
+
+    def test_reset_restores_stream(self):
+        adversary = RandomNoiseAdversary(corruption_probability=0.5, seed=3)
+        first = [adversary.corrupt(_ctx(round_index=i), 1) for i in range(20)]
+        adversary.reset()
+        second = [adversary.corrupt(_ctx(round_index=i), 1) for i in range(20)]
+        assert first == second
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomNoiseAdversary(corruption_probability=1.5)
+
+
+class TestLinkTargeted:
+    def test_only_target_link_is_hit(self):
+        adversary = LinkTargetedAdversary(target=(0, 1), max_corruptions=100, seed=0)
+        assert adversary.corrupt(_ctx(sender=1, receiver=0), 1) == 1
+        assert adversary.corrupt(_ctx(sender=0, receiver=1), 1) != 1
+
+    def test_phase_restriction(self):
+        adversary = LinkTargetedAdversary(target=(0, 1), phases=("simulation",), max_corruptions=10, seed=0)
+        assert adversary.corrupt(_ctx(phase="meeting_points"), 1) == 1
+        assert adversary.corrupt(_ctx(phase="simulation"), 1) != 1
+
+    def test_max_corruptions_cap_survives_reset(self):
+        adversary = LinkTargetedAdversary(target=(0, 1), max_corruptions=1, seed=0)
+        adversary.reset()
+        hits = sum(1 for i in range(10) if adversary.corrupt(_ctx(round_index=i), 1) != 1)
+        assert hits == 1
+
+    def test_fraction_budget(self):
+        adversary = LinkTargetedAdversary(target=(0, 1), fraction=0.5, seed=0)
+        hits = sum(1 for i in range(20) if adversary.corrupt(_ctx(round_index=i), 1) != 1)
+        assert 8 <= hits <= 10  # roughly half of the observed transmissions
+
+
+class TestBurst:
+    def test_burst_window(self):
+        adversary = BurstAdversary(start_round=5, end_round=7, max_corruptions=10, seed=0)
+        assert adversary.corrupt(_ctx(round_index=4), 1) == 1
+        assert adversary.corrupt(_ctx(round_index=5), 1) != 1
+        assert adversary.corrupt(_ctx(round_index=8), 1) == 1
+
+    def test_burst_cap(self):
+        adversary = BurstAdversary(start_round=0, end_round=100, max_corruptions=2, seed=0)
+        hits = sum(1 for i in range(50) if adversary.corrupt(_ctx(round_index=i), 1) != 1)
+        assert hits == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            BurstAdversary(start_round=5, end_round=1)
+
+
+class TestDeletion:
+    def test_only_deletes(self):
+        adversary = DeletionAdversary(deletion_probability=1.0, seed=0)
+        assert adversary.corrupt(_ctx(), 1) is None
+        assert adversary.corrupt(_ctx(), None) is None
+
+
+class TestAdaptive:
+    def test_phase_targeted_respects_budget(self):
+        adversary = PhaseTargetedAdaptiveAdversary(fraction=0.1, phases=("simulation",), seed=0)
+        hits = 0
+        for i in range(100):
+            if adversary.corrupt(_ctx(round_index=i, phase="simulation"), 1) != 1:
+                hits += 1
+        assert 8 <= hits <= 11
+        assert adversary.oblivious is False
+
+    def test_rotating_link_requires_links(self):
+        with pytest.raises(ValueError):
+            RotatingLinkAdaptiveAdversary(links=(), fraction=0.1)
+
+    def test_rotating_link_moves_across_links(self):
+        adversary = RotatingLinkAdaptiveAdversary(links=((0, 1), (1, 0)), fraction=1.0, seed=0)
+        corrupted_links = set()
+        for i in range(40):
+            sender, receiver = (0, 1) if i % 2 == 0 else (1, 0)
+            result = adversary.corrupt(_ctx(round_index=i, sender=sender, receiver=receiver), 1)
+            if result != 1:
+                corrupted_links.add((sender, receiver))
+        assert corrupted_links == {(0, 1), (1, 0)}
+
+    def test_echo_spoofing_spends_in_pairs(self):
+        adversary = EchoSpoofingAdversary(target=(0, 1), fraction=0.5, seed=0)
+        # Build up budget by letting it observe unrelated traffic first.
+        for i in range(10):
+            assert adversary.corrupt(_ctx(round_index=i, sender=2, receiver=3), 1) == 1
+        deleted = adversary.corrupt(_ctx(sender=0, receiver=1), 1)
+        assert deleted is None
+        spoofed = adversary.corrupt(_ctx(sender=1, receiver=0), None)
+        assert spoofed in (0, 1)
+
+
+class TestComposite:
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            CompositeAdversary(components=())
+
+    def test_applies_all_components(self):
+        composite = CompositeAdversary(
+            components=(
+                DeletionAdversary(deletion_probability=0.0, seed=0),
+                LinkTargetedAdversary(target=(0, 1), max_corruptions=100, seed=0),
+            )
+        )
+        assert composite.corrupt(_ctx(sender=0, receiver=1), 1) != 1
+        assert composite.oblivious is True
+
+    def test_obliviousness_propagates(self):
+        composite = CompositeAdversary(
+            components=(
+                PhaseTargetedAdaptiveAdversary(fraction=0.1, seed=0),
+                NoiselessAdversary(),
+            )
+        )
+        assert composite.oblivious is False

@@ -1,0 +1,88 @@
+"""Tests for the uncoded, repetition and fully-utilised baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import NoiselessAdversary
+from repro.adversary.strategies import DeletionAdversary, LinkTargetedAdversary, RandomNoiseAdversary
+from repro.baselines.fully_utilized import fully_utilized_overhead
+from repro.baselines.repetition import run_repetition
+from repro.baselines.uncoded import run_uncoded
+from repro.network.topologies import line_topology
+from repro.protocols.aggregation import AggregationProtocol
+from repro.protocols.gossip import ParityGossipProtocol
+
+
+class TestUncoded:
+    def test_clean_channel_succeeds(self, gossip_line5):
+        result = run_uncoded(gossip_line5)
+        assert result.success
+        assert result.metrics.overhead == pytest.approx(1.0)
+
+    def test_single_error_breaks_it(self, gossip_line5):
+        # Flip the very first bit party 0 sends to party 1 (an additive offset
+        # always changes the delivered value, so the corruption is observable).
+        from repro.adversary.oblivious import AdditiveObliviousAdversary
+
+        adversary = AdditiveObliviousAdversary(pattern={(0, 0, 1): 1})
+        result = run_uncoded(gossip_line5, adversary=adversary)
+        assert not result.success
+        assert result.metrics.corruptions == 1
+
+    def test_deletions_break_it(self, aggregation_line6):
+        adversary = DeletionAdversary(deletion_probability=0.2, seed=2)
+        result = run_uncoded(aggregation_line6, adversary=adversary)
+        assert not result.success
+
+    def test_outputs_match_reference_shape(self, gossip_line5):
+        result = run_uncoded(gossip_line5)
+        assert set(result.outputs) == set(result.reference_outputs)
+
+    def test_metrics_name(self, gossip_line5):
+        assert run_uncoded(gossip_line5, name="plain").metrics.scheme == "plain"
+
+
+class TestRepetition:
+    def test_clean_channel_succeeds_with_3x_overhead(self, gossip_line5):
+        result = run_repetition(gossip_line5, repetitions=3)
+        assert result.success
+        assert result.metrics.overhead == pytest.approx(3.0)
+
+    def test_single_substitution_is_corrected(self, gossip_line5):
+        adversary = LinkTargetedAdversary(target=(0, 1), max_corruptions=1, seed=3)
+        result = run_repetition(gossip_line5, adversary=adversary, repetitions=3)
+        assert result.success
+
+    def test_targeted_burst_defeats_it(self, gossip_line5):
+        # Three consecutive corruptions on the same link hit one repetition
+        # group and flip the decoded bit.  Party 1's input is 1, so whatever
+        # mix of flips and deletions the burst applies, the majority decodes 0.
+        adversary = LinkTargetedAdversary(target=(1, 0), max_corruptions=3, seed=4)
+        result = run_repetition(gossip_line5, adversary=adversary, repetitions=3)
+        assert not result.success
+
+    def test_invalid_repetitions(self, gossip_line5):
+        with pytest.raises(ValueError):
+            run_repetition(gossip_line5, repetitions=0)
+
+    def test_repetitions_scale_communication(self, gossip_line5):
+        five = run_repetition(gossip_line5, repetitions=5)
+        assert five.metrics.overhead == pytest.approx(5.0)
+
+
+class TestFullyUtilizedConversion:
+    def test_dense_protocol_has_no_conversion_cost(self, gossip_clique4):
+        conversion = fully_utilized_overhead(gossip_clique4)
+        assert conversion.overhead == pytest.approx(1.0)
+
+    def test_sparse_protocol_pays_up_to_m(self, aggregation_line6):
+        conversion = fully_utilized_overhead(aggregation_line6)
+        # one transmission per round over m=5 links -> conversion costs 2m
+        assert conversion.overhead == pytest.approx(2 * aggregation_line6.graph.num_edges)
+
+    def test_converted_communication_formula(self, aggregation_line6):
+        conversion = fully_utilized_overhead(aggregation_line6)
+        assert conversion.converted_communication == (
+            2 * aggregation_line6.graph.num_edges * aggregation_line6.num_rounds
+        )

@@ -1,0 +1,100 @@
+"""Unit tests for repro.utils.bitstring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitstring import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    longest_common_prefix_length,
+    parity,
+    symbols_to_bits,
+    xor_bits,
+)
+
+
+class TestBitsIntConversion:
+    def test_bits_to_int_basic(self):
+        assert bits_to_int([1, 0, 1]) == 5
+        assert bits_to_int([]) == 0
+        assert bits_to_int([0, 0, 0, 1]) == 8
+
+    def test_int_to_bits_basic(self):
+        assert int_to_bits(5, 4) == [1, 0, 1, 0]
+        assert int_to_bits(0, 3) == [0, 0, 0]
+        assert int_to_bits(7, 3) == [1, 1, 1]
+
+    def test_bits_to_int_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    def test_int_to_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    @given(st.lists(st.integers(0, 1), max_size=64))
+    def test_roundtrip(self, bits):
+        assert int_to_bits(bits_to_int(bits), len(bits)) == bits
+
+    @given(st.integers(0, 2**48 - 1))
+    def test_roundtrip_int(self, value):
+        assert bits_to_int(int_to_bits(value, 48)) == value
+
+
+class TestByteConversion:
+    def test_bytes_to_bits_length(self):
+        assert len(bytes_to_bits(b"ab")) == 16
+
+    def test_roundtrip_bytes(self):
+        data = b"hello world"
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip_random(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+
+class TestParityAndDistance:
+    def test_parity(self):
+        assert parity(0) == 0
+        assert parity(0b1011) == 1
+        assert parity(0b11) == 0
+
+    def test_hamming_distance(self):
+        assert hamming_distance([0, 1, 1], [0, 0, 1]) == 1
+        assert hamming_distance([], []) == 0
+
+    def test_hamming_distance_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance([0], [0, 1])
+
+    def test_xor_bits(self):
+        assert xor_bits([1, 0, 1], [1, 1, 0]) == [0, 1, 1]
+
+    def test_xor_bits_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bits([1], [1, 0])
+
+
+class TestSymbolsAndPrefix:
+    def test_symbols_to_bits_fills_erasures(self):
+        assert symbols_to_bits([1, None, 0]) == [1, 0, 0]
+        assert symbols_to_bits([None], erasure_fill=1) == [1]
+
+    def test_longest_common_prefix(self):
+        assert longest_common_prefix_length("abcd", "abxy") == 2
+        assert longest_common_prefix_length([1, 2], [1, 2, 3]) == 2
+        assert longest_common_prefix_length([], [1]) == 0
+
+    @given(st.lists(st.integers(0, 3)), st.lists(st.integers(0, 3)))
+    def test_prefix_is_common(self, a, b):
+        k = longest_common_prefix_length(a, b)
+        assert a[:k] == b[:k]
+        if k < min(len(a), len(b)):
+            assert a[k] != b[k]

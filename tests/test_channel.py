@@ -1,0 +1,102 @@
+"""Unit tests for channel symbols, corruption classification and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.channel import (
+    ChannelStats,
+    TransmissionContext,
+    apply_additive_noise,
+    classify_corruption,
+)
+
+
+class TestAdditiveNoise:
+    def test_identity_offset(self):
+        assert apply_additive_noise(0, 0) == 0
+        assert apply_additive_noise(None, 0) is None
+
+    def test_substitution(self):
+        assert apply_additive_noise(0, 1) == 1
+        assert apply_additive_noise(1, 2) == 0
+
+    def test_deletion(self):
+        # 1 + 1 = 2 -> the "no message" symbol
+        assert apply_additive_noise(1, 1) is None
+        assert apply_additive_noise(0, 2) is None
+
+    def test_insertion(self):
+        assert apply_additive_noise(None, 1) == 0
+        assert apply_additive_noise(None, 2) == 1
+
+    def test_rejects_bad_offset(self):
+        with pytest.raises(ValueError):
+            apply_additive_noise(0, 3)
+
+    def test_nonzero_offset_always_changes_symbol(self):
+        for sent in (0, 1, None):
+            for offset in (1, 2):
+                assert apply_additive_noise(sent, offset) != sent
+
+
+class TestClassification:
+    def test_clean(self):
+        assert classify_corruption(0, 0) is None
+        assert classify_corruption(None, None) is None
+
+    def test_substitution(self):
+        assert classify_corruption(0, 1) == "substitution"
+
+    def test_deletion(self):
+        assert classify_corruption(1, None) == "deletion"
+
+    def test_insertion(self):
+        assert classify_corruption(None, 1) == "insertion"
+
+
+def _ctx(phase="simulation", sender=0, receiver=1, round_index=0) -> TransmissionContext:
+    return TransmissionContext(round_index=round_index, sender=sender, receiver=receiver, phase=phase)
+
+
+class TestChannelStats:
+    def test_counts_transmissions_and_corruptions(self):
+        stats = ChannelStats()
+        stats.record(_ctx(), 1, 1)
+        stats.record(_ctx(), 1, 0)
+        stats.record(_ctx(), 0, None)
+        stats.record(_ctx(), None, 1)
+        assert stats.transmissions == 3  # the insertion slot carried no sent symbol
+        assert stats.substitutions == 1
+        assert stats.deletions == 1
+        assert stats.insertions == 1
+        assert stats.corruptions == 3
+
+    def test_noise_fraction(self):
+        stats = ChannelStats()
+        assert stats.noise_fraction() == 0.0
+        for _ in range(9):
+            stats.record(_ctx(), 1, 1)
+        stats.record(_ctx(), 1, 0)
+        assert stats.noise_fraction() == pytest.approx(0.1)
+
+    def test_per_phase_accounting(self):
+        stats = ChannelStats()
+        stats.record(_ctx(phase="meeting_points"), 1, 1)
+        stats.record(_ctx(phase="simulation"), 1, 0)
+        assert stats.transmissions_by_phase == {"meeting_points": 1, "simulation": 1}
+        assert stats.corruptions_by_phase == {"simulation": 1}
+
+    def test_per_link_accounting(self):
+        stats = ChannelStats()
+        stats.record(_ctx(sender=2, receiver=3), 1, 0)
+        stats.record(_ctx(sender=2, receiver=3), 0, 1)
+        assert stats.corruptions_by_link == {(2, 3): 2}
+
+    def test_snapshot_keys(self):
+        stats = ChannelStats()
+        stats.record(_ctx(), 1, 1)
+        snapshot = stats.snapshot()
+        assert snapshot["transmissions"] == 1
+        assert snapshot["corruptions"] == 0
+        assert "noise_fraction" in snapshot

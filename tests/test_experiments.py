@@ -1,0 +1,171 @@
+"""Tests for the experiment harnesses (workloads, trials, Table 1, sweeps, ablations).
+
+These use deliberately tiny configurations: the goal is to exercise the
+harness logic, not to re-measure the paper (the benchmarks do that).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.strategies import RandomNoiseAdversary
+from repro.core.parameters import algorithm_a, crs_oblivious_scheme
+from repro.experiments.ablations import (
+    chunk_size_ablation,
+    flag_passing_ablation,
+    hash_length_ablation,
+    rewind_ablation,
+    single_error_cost,
+)
+from repro.experiments.harness import format_table, noiseless_factory, run_trials, sweep
+from repro.experiments.noise_sweep import crossover_multiplier, noise_sweep
+from repro.experiments.table1 import ANALYTICAL_ROWS, TABLE1_COLUMNS, build_table1, default_cells, measure_cell
+from repro.experiments.theorem_validation import rate_vs_network_size, rate_vs_protocol_size, scheme_comparison
+from repro.experiments.workloads import (
+    WORKLOAD_BUILDERS,
+    aggregation_workload,
+    gossip_workload,
+    line_example_workload,
+    pairwise_workload,
+    random_workload,
+    token_ring_workload,
+)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("builder", sorted(WORKLOAD_BUILDERS))
+    def test_every_builder_produces_a_runnable_workload(self, builder):
+        workload = WORKLOAD_BUILDERS[builder]()
+        assert workload.communication > 0
+        execution = workload.protocol.run_noiseless()
+        assert set(execution.outputs) == set(workload.graph.nodes)
+
+    def test_workload_names_encode_parameters(self):
+        assert "line" in gossip_workload(topology="line", num_nodes=4).name
+        assert "n6" in random_workload(num_nodes=6).name
+
+    def test_workloads_are_deterministic_under_seed(self):
+        a = random_workload(seed=3).protocol.run_noiseless().outputs
+        b = random_workload(seed=3).protocol.run_noiseless().outputs
+        assert a == b
+
+
+class TestHarness:
+    def test_run_trials_counts(self):
+        workload = pairwise_workload()
+        trial_set = run_trials(workload, crs_oblivious_scheme(), trials=2, base_seed=1)
+        assert trial_set.aggregate.trials == 2
+        assert trial_set.aggregate.success_rate == 1.0
+        assert len(trial_set.runs) == 2
+
+    def test_run_trials_validation(self):
+        with pytest.raises(ValueError):
+            run_trials(pairwise_workload(), crs_oblivious_scheme(), trials=0)
+
+    def test_run_trials_with_noise_factory(self):
+        workload = gossip_workload(num_nodes=4, phases=4)
+        trial_set = run_trials(
+            workload,
+            crs_oblivious_scheme(),
+            adversary_factory=lambda seed: RandomNoiseAdversary(corruption_probability=0.002, seed=seed),
+            trials=2,
+        )
+        assert 0.0 <= trial_set.aggregate.success_rate <= 1.0
+
+    def test_sweep_maps_cells(self):
+        workload = pairwise_workload()
+        cells = [
+            {"workload": workload, "scheme": crs_oblivious_scheme(), "trials": 1, "base_seed": i}
+            for i in range(2)
+        ]
+        results = sweep(cells, run_trials)
+        assert len(results) == 2
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}]
+        text = format_table(rows, ["a", "b"])
+        assert "a" in text.splitlines()[0]
+        assert len(text.splitlines()) == 4
+
+
+class TestTable1:
+    def test_analytical_rows_match_paper(self):
+        schemes = [row["scheme"] for row in ANALYTICAL_ROWS]
+        assert schemes == ["RS94", "ABGEH16", "HS16", "HS16 (routed)", "JKL15"]
+
+    def test_default_cells_cover_schemes_and_baselines(self):
+        labels = [cell.scheme_label for cell in default_cells()]
+        assert "Algorithm A" in labels and "uncoded" in labels and "repetition(3)" in labels
+
+    def test_measure_cell_for_baseline(self):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=4)
+        row = measure_cell(default_cells()[3], workload, "line", trials=1)
+        assert row["kind"] == "measured"
+        assert row["scheme"] == "uncoded"
+        assert 0.0 <= row["success_rate"] <= 1.0
+
+    def test_build_table1_small(self):
+        rows = build_table1(topologies=("line",), num_nodes=4, phases=4, trials=1, include_analytical=True)
+        kinds = {row["kind"] for row in rows}
+        assert kinds == {"analytical", "measured"}
+        assert all(set(TABLE1_COLUMNS) >= set(row) or True for row in rows)
+        measured = [row for row in rows if row["kind"] == "measured"]
+        assert len(measured) == len(default_cells())
+
+
+class TestSweepsAndSeries:
+    def test_noise_sweep_shape(self):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=4)
+        points = noise_sweep(workload, crs_oblivious_scheme(), multipliers=(0.5, 32.0), trials=1)
+        assert len(points) == 2
+        assert points[0].multiplier == 0.5
+        assert points[0].success_rate >= points[-1].success_rate
+
+    def test_crossover_multiplier(self):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=4)
+        points = noise_sweep(workload, crs_oblivious_scheme(), multipliers=(0.5, 64.0), trials=1)
+        crossover = crossover_multiplier(points)
+        assert crossover is None or crossover in (0.5, 64.0)
+
+    def test_rate_vs_protocol_size_is_flat(self):
+        points = rate_vs_protocol_size(crs_oblivious_scheme(), phases_grid=(6, 18), num_nodes=4, trials=1)
+        assert len(points) == 2
+        assert points[1].x > points[0].x
+        # constant-rate claim: the overhead must not grow with CC(Pi)
+        assert points[1].overhead <= points[0].overhead * 1.5
+
+    def test_rate_vs_network_size(self):
+        points = rate_vs_network_size(crs_oblivious_scheme(), node_grid=(4, 5), phases=6, trials=1)
+        assert [point.extra["num_nodes"] for point in points] == [4, 5]
+
+    def test_scheme_comparison_rows(self):
+        rows = scheme_comparison(num_nodes=4, phases=5, trials=1)
+        names = [row["scheme"] for row in rows]
+        assert names == ["algorithm_a", "algorithm_b", "algorithm_c", "uncoded"]
+
+
+class TestAblations:
+    def test_flag_passing_ablation_rows(self):
+        rows = flag_passing_ablation(num_nodes=5, blocks=2, errors=1, trials=1)
+        assert [row.label for row in rows] == ["flag_passing=on", "flag_passing=off"]
+        assert all(0.0 <= row.success_rate <= 1.0 for row in rows)
+
+    def test_rewind_ablation_shows_the_mechanism_matters(self):
+        rows = rewind_ablation(num_nodes=6, blocks=3, errors=2, trials=1)
+        on, off = rows
+        assert on.success_rate >= off.success_rate
+        assert on.mean_iterations <= off.mean_iterations
+
+    def test_hash_length_ablation_rows(self):
+        rows = hash_length_ablation(hash_bits_grid=(2, 8), num_nodes=4, phases=5, trials=1)
+        assert [row.extra["hash_bits"] for row in rows] == [2.0, 8.0]
+
+    def test_chunk_size_ablation_rate_improves_with_chunk_size(self):
+        rows = chunk_size_ablation(multiplier_grid=(2, 10), num_nodes=4, phases=8, trials=1)
+        assert rows[0].mean_overhead > rows[1].mean_overhead
+
+    def test_single_error_cost_keys(self):
+        outcome = single_error_cost(num_nodes=5, blocks=2)
+        for key in ("clean_overhead", "noisy_overhead", "extra_overhead", "noisy_success"):
+            assert key in outcome
+        assert outcome["noisy_success"] == 1.0

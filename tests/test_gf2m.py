@@ -1,0 +1,85 @@
+"""Unit and property tests for GF(2^r) arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.gf2m import GF2m, carryless_multiply
+
+
+class TestCarrylessMultiply:
+    def test_known_values(self):
+        # (x + 1) * (x + 1) = x^2 + 1 over GF(2)
+        assert carryless_multiply(0b11, 0b11) == 0b101
+        assert carryless_multiply(0b10, 0b10) == 0b100
+        assert carryless_multiply(5, 0) == 0
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_commutative(self, a, b):
+        assert carryless_multiply(a, b) == carryless_multiply(b, a)
+
+    @given(st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1), st.integers(0, 2**12 - 1))
+    def test_distributive_over_xor(self, a, b, c):
+        assert carryless_multiply(a, b ^ c) == carryless_multiply(a, b) ^ carryless_multiply(a, c)
+
+
+class TestField:
+    def test_supported_degrees(self):
+        for degree in (8, 16, 32, 64, 128):
+            field = GF2m(degree)
+            assert field.order == 1 << degree
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ValueError):
+            GF2m(7)
+
+    def test_reduce_keeps_degree(self):
+        field = GF2m(8)
+        assert field.reduce(field.modulus) < field.order
+
+    def test_element_range_checked(self):
+        field = GF2m(8)
+        with pytest.raises(ValueError):
+            field.mul(256, 1)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_mul_commutative_16(self, a, b):
+        field = GF2m(16)
+        assert field.mul(a, b) == field.mul(b, a)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    @settings(max_examples=50)
+    def test_mul_associative_16(self, a, b, c):
+        field = GF2m(16)
+        assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_identity(self, a):
+        field = GF2m(16)
+        assert field.mul(a, 1) == a
+        assert field.mul(a, 0) == 0
+
+    @given(st.integers(1, 2**16 - 1), st.integers(0, 40))
+    @settings(max_examples=50)
+    def test_pow_matches_iterated_mul(self, a, exponent):
+        field = GF2m(16)
+        expected = 1
+        for _ in range(exponent):
+            expected = field.mul(expected, a)
+        assert field.pow(a, exponent) == expected
+
+    def test_pow_negative_exponent(self):
+        with pytest.raises(ValueError):
+            GF2m(16).pow(3, -1)
+
+    def test_inner_product_bit(self):
+        assert GF2m.inner_product_bit(0b1011, 0b0011) == 0
+        assert GF2m.inner_product_bit(0b1011, 0b0001) == 1
+
+    def test_multiplicative_order_divides_group_order_gf8(self):
+        # In GF(2^8), x^(2^8 - 1) = 1 for every non-zero x.
+        field = GF2m(8)
+        for element in (1, 2, 3, 91, 200, 255):
+            assert field.pow(element, field.order - 1) == 1

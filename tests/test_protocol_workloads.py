@@ -1,0 +1,181 @@
+"""Tests for the concrete protocol workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.topologies import complete_topology, line_topology, ring_topology, star_topology
+from repro.protocols.aggregation import AggregationProtocol
+from repro.protocols.gossip import PairwiseExchangeProtocol, ParityGossipProtocol
+from repro.protocols.line_example import LineExampleProtocol
+from repro.protocols.random_protocol import RandomProtocol
+from repro.protocols.token_ring import TokenRingProtocol
+
+
+class TestParityGossip:
+    def test_fully_utilised_schedule(self):
+        graph = complete_topology(4)
+        protocol = ParityGossipProtocol(graph, {i: 0 for i in range(4)}, phases=3)
+        assert protocol.communication_complexity() == 2 * graph.num_edges * 3
+
+    def test_missing_inputs_rejected(self):
+        graph = line_topology(3)
+        with pytest.raises(ValueError):
+            ParityGossipProtocol(graph, {0: 1}, phases=2)
+
+    def test_invalid_phase_count(self):
+        graph = line_topology(3)
+        with pytest.raises(ValueError):
+            ParityGossipProtocol(graph, {i: 0 for i in range(3)}, phases=0)
+
+    def test_invalid_input_bit(self):
+        graph = line_topology(3)
+        protocol = ParityGossipProtocol(graph, {0: 0, 1: 2, 2: 0}, phases=2)
+        with pytest.raises(ValueError):
+            protocol.run_noiseless()
+
+    def test_outputs_depend_on_inputs(self):
+        graph = line_topology(4)
+        a = ParityGossipProtocol(graph, {0: 0, 1: 0, 2: 0, 3: 0}, phases=3).run_noiseless()
+        b = ParityGossipProtocol(graph, {0: 1, 1: 0, 2: 0, 3: 0}, phases=3).run_noiseless()
+        assert a.outputs != b.outputs
+
+
+class TestPairwiseExchange:
+    def test_single_round(self):
+        graph = star_topology(4)
+        protocol = PairwiseExchangeProtocol(graph, {i: i % 2 for i in range(4)})
+        assert protocol.num_rounds == 1
+        outputs = protocol.run_noiseless().outputs
+        # the centre hears every leaf's bit
+        assert outputs[0] == (1, 0, 1)
+
+    def test_leaf_hears_centre(self):
+        graph = star_topology(4)
+        outputs = PairwiseExchangeProtocol(graph, {0: 1, 1: 0, 2: 0, 3: 0}).run_noiseless().outputs
+        assert outputs[1] == (1,)
+
+
+class TestAggregation:
+    def test_every_party_learns_the_sum(self):
+        graph = line_topology(7)
+        inputs = {i: 3 * i + 1 for i in range(7)}
+        protocol = AggregationProtocol(graph, inputs, value_bits=8)
+        outputs = protocol.run_noiseless().outputs
+        assert all(value == protocol.expected_total() for value in outputs.values())
+
+    def test_sum_is_modular(self):
+        graph = star_topology(4)
+        protocol = AggregationProtocol(graph, {0: 7, 1: 7, 2: 7, 3: 7}, value_bits=4)
+        assert protocol.expected_total() == (28 % 16)
+        outputs = protocol.run_noiseless().outputs
+        assert all(value == 28 % 16 for value in outputs.values())
+
+    def test_input_range_validated(self):
+        graph = line_topology(3)
+        with pytest.raises(ValueError):
+            AggregationProtocol(graph, {0: 99, 1: 0, 2: 0}, value_bits=4)
+
+    def test_schedule_is_sparse(self):
+        graph = line_topology(4)
+        protocol = AggregationProtocol(graph, {i: 1 for i in range(4)}, value_bits=3)
+        assert all(len(round_links) == 1 for round_links in protocol.schedule())
+
+    def test_works_on_any_connected_topology(self):
+        graph = complete_topology(5)
+        protocol = AggregationProtocol(graph, {i: i for i in range(5)}, value_bits=5)
+        outputs = protocol.run_noiseless().outputs
+        assert all(value == 10 for value in outputs.values())
+
+
+class TestLineExample:
+    def test_requires_path_edges(self):
+        # A star is missing the (1, 2) edge of the line, so it is rejected;
+        # graphs that contain the whole path (e.g. a ring) are fine.
+        with pytest.raises(ValueError):
+            LineExampleProtocol(star_topology(4), {i: 0 for i in range(4)})
+        LineExampleProtocol(ring_topology(4), {i: 0 for i in range(4)})
+
+    def test_requires_three_parties(self):
+        with pytest.raises(ValueError):
+            LineExampleProtocol(line_topology(2), {0: 0, 1: 0})
+
+    def test_schedule_shape(self):
+        graph = line_topology(5)
+        protocol = LineExampleProtocol(graph, {i: 0 for i in range(5)}, blocks=2, pingpong_rounds=4)
+        # per block: (n-2) relay rounds + 4 ping-pong rounds
+        assert protocol.num_rounds == 2 * (3 + 4)
+        assert all(len(round_links) == 1 for round_links in protocol.schedule())
+
+    def test_pingpong_alternates_between_last_two(self):
+        graph = line_topology(4)
+        protocol = LineExampleProtocol(graph, {i: 0 for i in range(4)}, blocks=1, pingpong_rounds=4)
+        schedule = protocol.schedule()
+        pingpong = schedule[2:]
+        assert pingpong[0] == [(2, 3)]
+        assert pingpong[1] == [(3, 2)]
+
+    def test_outputs_sensitive_to_inputs(self):
+        graph = line_topology(5)
+        a = LineExampleProtocol(graph, {i: 0 for i in range(5)}, blocks=2).run_noiseless()
+        b = LineExampleProtocol(graph, {0: 1, 1: 0, 2: 0, 3: 0, 4: 0}, blocks=2).run_noiseless()
+        assert a.outputs != b.outputs
+
+
+class TestTokenRing:
+    def test_requires_ring(self):
+        with pytest.raises(ValueError):
+            TokenRingProtocol(line_topology(4), {i: 0 for i in range(4)})
+
+    def test_final_token_value(self):
+        graph = ring_topology(4)
+        inputs = {0: 1, 1: 2, 2: 3, 3: 4}
+        protocol = TokenRingProtocol(graph, inputs, value_bits=6, laps=1)
+        outputs = protocol.run_noiseless().outputs
+        # party 0 receives the token after everyone (including itself) added once
+        assert outputs[0] == sum(inputs.values()) % 64
+        # party 1 last saw the token right after party 0 added its value
+        assert outputs[1] == 1
+
+    def test_two_laps_accumulate(self):
+        graph = ring_topology(3)
+        inputs = {0: 1, 1: 1, 2: 1}
+        protocol = TokenRingProtocol(graph, inputs, value_bits=5, laps=2)
+        outputs = protocol.run_noiseless().outputs
+        assert outputs[0] == 6  # 2 laps * 3 parties * 1
+
+    def test_input_range_validated(self):
+        with pytest.raises(ValueError):
+            TokenRingProtocol(ring_topology(3), {0: 99, 1: 0, 2: 0}, value_bits=4)
+
+    def test_one_link_per_round(self):
+        protocol = TokenRingProtocol(ring_topology(4), {i: 1 for i in range(4)}, value_bits=3)
+        assert all(len(round_links) == 1 for round_links in protocol.schedule())
+
+
+class TestRandomProtocol:
+    def test_schedule_reproducible(self):
+        graph = complete_topology(4)
+        inputs = {i: i for i in range(4)}
+        a = RandomProtocol(graph, inputs, num_rounds=12, density=0.3, seed=5)
+        b = RandomProtocol(graph, inputs, num_rounds=12, density=0.3, seed=5)
+        assert a.schedule() == b.schedule()
+
+    def test_schedule_never_empty(self):
+        graph = line_topology(3)
+        protocol = RandomProtocol(graph, {i: 0 for i in range(3)}, num_rounds=3, density=0.01, seed=1)
+        assert protocol.communication_complexity() >= 1
+
+    def test_outputs_are_full_transcripts(self):
+        graph = complete_topology(4)
+        protocol = RandomProtocol(graph, {i: i for i in range(4)}, num_rounds=8, density=0.5, seed=2)
+        execution = protocol.run_noiseless()
+        for party, output in execution.outputs.items():
+            assert output == tuple(sorted(execution.received[party].items()))
+
+    def test_parameter_validation(self):
+        graph = line_topology(3)
+        with pytest.raises(ValueError):
+            RandomProtocol(graph, {i: 0 for i in range(3)}, num_rounds=0)
+        with pytest.raises(ValueError):
+            RandomProtocol(graph, {i: 0 for i in range(3)}, density=0.0)

@@ -1,0 +1,80 @@
+"""Tests for the randomness exchange (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.strategies import DeletionAdversary, LinkTargetedAdversary, RandomNoiseAdversary
+from repro.core.randomness_exchange import run_randomness_exchange
+from repro.hashing.seeds import ExchangedSeedSource
+from repro.network.topologies import line_topology, star_topology
+from repro.network.transport import NoisyNetwork
+from repro.utils.rng import make_rng
+
+
+class TestCleanExchange:
+    def test_all_links_agree(self):
+        graph = line_topology(4)
+        network = NoisyNetwork(graph)
+        report = run_randomness_exchange(graph, network, make_rng(0), field_degree=32)
+        assert all(report.agreed.values())
+        assert report.corrupted_links == []
+        assert report.communication > 0
+        assert set(report.seed_sources) == set(graph.directed_edges())
+
+    def test_endpoints_derive_identical_hash_seeds(self):
+        graph = line_topology(3)
+        network = NoisyNetwork(graph)
+        report = run_randomness_exchange(graph, network, make_rng(1), field_degree=32)
+        for u, v in graph.edges:
+            source_u = report.seed_sources[(u, v)]
+            source_v = report.seed_sources[(v, u)]
+            assert isinstance(source_u, ExchangedSeedSource)
+            assert source_u.seed_for(0, "mp_prefix", 256) == source_v.seed_for(0, "mp_prefix", 256)
+
+    def test_communication_scales_with_links(self):
+        small_graph = line_topology(3)
+        big_graph = star_topology(7)
+        small = run_randomness_exchange(small_graph, NoisyNetwork(small_graph), make_rng(0), field_degree=32)
+        big = run_randomness_exchange(big_graph, NoisyNetwork(big_graph), make_rng(0), field_degree=32)
+        assert big.communication == small.communication * big_graph.num_edges // small_graph.num_edges
+
+
+class TestNoisyExchange:
+    def test_light_noise_is_corrected(self):
+        graph = line_topology(4)
+        adversary = RandomNoiseAdversary(corruption_probability=0.01, seed=2)
+        network = NoisyNetwork(graph, adversary=adversary)
+        report = run_randomness_exchange(graph, network, make_rng(3), field_degree=32)
+        assert all(report.agreed.values())
+
+    def test_deletions_are_treated_as_erasures(self):
+        graph = line_topology(3)
+        adversary = DeletionAdversary(deletion_probability=0.05, seed=4)
+        network = NoisyNetwork(graph, adversary=adversary)
+        report = run_randomness_exchange(graph, network, make_rng(5), field_degree=32)
+        assert all(report.agreed.values())
+
+    def test_heavy_targeted_noise_breaks_one_link(self):
+        graph = line_topology(4)
+        adversary = LinkTargetedAdversary(
+            target=(0, 1), phases=("randomness_exchange",), max_corruptions=10_000, seed=6
+        )
+        network = NoisyNetwork(graph, adversary=adversary)
+        report = run_randomness_exchange(graph, network, make_rng(7), field_degree=32)
+        assert report.agreed[(0, 1)] is False
+        # the untouched links still agree
+        assert report.agreed[(1, 2)] is True
+        assert report.agreed[(2, 3)] is True
+        assert report.corrupted_links == [(0, 1)]
+
+    def test_mismatched_seeds_produce_mismatched_hash_seeds(self):
+        graph = line_topology(3)
+        adversary = LinkTargetedAdversary(
+            target=(0, 1), phases=("randomness_exchange",), max_corruptions=10_000, seed=8
+        )
+        network = NoisyNetwork(graph, adversary=adversary)
+        report = run_randomness_exchange(graph, network, make_rng(9), field_degree=32)
+        source_u = report.seed_sources[(0, 1)]
+        source_v = report.seed_sources[(1, 0)]
+        assert source_u.seed_for(0, "mp_prefix", 256) != source_v.seed_for(0, "mp_prefix", 256)

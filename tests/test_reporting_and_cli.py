@@ -1,0 +1,114 @@
+"""Tests for the report serialisation and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.reporting import ExperimentReport, load_report
+
+
+class TestExperimentReport:
+    def test_columns_preserve_order(self):
+        report = ExperimentReport("demo", rows=[{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert report.columns() == ["a", "b", "c"]
+
+    def test_json_roundtrip(self, tmp_path):
+        report = ExperimentReport("demo", rows=[{"a": 1}], parameters={"n": 5})
+        path = report.save(tmp_path / "out.json")
+        loaded = load_report(path)
+        assert loaded.experiment == "demo"
+        assert loaded.rows == [{"a": 1}]
+        assert loaded.parameters == {"n": 5}
+
+    def test_markdown_rendering(self, tmp_path):
+        report = ExperimentReport("demo", rows=[{"a": 1.5}], parameters={"n": 5})
+        text = report.to_markdown()
+        assert "## demo" in text
+        assert "n=5" in text
+        path = report.save(tmp_path / "out.md")
+        assert path.read_text().startswith("## demo")
+
+    def test_to_json_is_valid_json(self):
+        report = ExperimentReport("demo", rows=[{"a": 1}])
+        parsed = json.loads(report.to_json())
+        assert parsed["experiment"] == "demo"
+
+    def test_empty_rows_markdown(self):
+        assert "(no rows)" in ExperimentReport("demo", rows=[]).to_markdown()
+
+
+class TestCli:
+    def test_parser_knows_all_commands(self):
+        parser = build_parser()
+        for command in ("table1", "noise-sweep", "rate", "ablations", "simulate"):
+            args = parser.parse_args([command] if command != "noise-sweep" else [command])
+            assert hasattr(args, "func")
+
+    def test_simulate_command_runs(self, capsys, tmp_path):
+        output = tmp_path / "run.json"
+        code = main(
+            [
+                "simulate",
+                "--workload", "gossip",
+                "--topology", "line",
+                "--nodes", "4",
+                "--scheme", "algorithm_crs",
+                "--noise", "0.0",
+                "--seed", "3",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "overhead" in captured
+        data = json.loads(output.read_text())
+        assert data["rows"][0]["success"] is True
+
+    def test_rate_command_runs(self, capsys):
+        code = main(
+            [
+                "rate",
+                "--scheme", "algorithm_crs",
+                "--topology", "line",
+                "--nodes", "4",
+                "--phases-grid", "4", "8",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_noise_sweep_command_runs(self, capsys):
+        code = main(
+            [
+                "noise-sweep",
+                "--scheme", "algorithm_crs",
+                "--topology", "line",
+                "--nodes", "4",
+                "--phases", "4",
+                "--multipliers", "0.5", "32",
+                "--trials", "1",
+            ]
+        )
+        assert code == 0
+        assert "success_rate" in capsys.readouterr().out
+
+    def test_table1_measured_only_runs(self, capsys, tmp_path):
+        output = tmp_path / "table1.md"
+        code = main(
+            [
+                "table1",
+                "--topologies", "line",
+                "--nodes", "4",
+                "--phases", "4",
+                "--trials", "1",
+                "--measured-only",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "Algorithm A" in capsys.readouterr().out

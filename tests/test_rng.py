@@ -1,0 +1,49 @@
+"""Unit tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import fork, fork_seed, make_rng, random_bits, random_bitstring_int, stable_label_hash
+
+
+class TestStability:
+    def test_stable_label_hash_is_deterministic(self):
+        assert stable_label_hash("abc") == stable_label_hash("abc")
+        assert stable_label_hash("abc") != stable_label_hash("abd")
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(7).random() == make_rng(7).random()
+
+    def test_fork_same_label_same_stream(self):
+        assert fork(1, "x").random() == fork(1, "x").random()
+
+    def test_fork_different_labels_differ(self):
+        assert fork(1, "x").random() != fork(1, "y").random()
+
+    def test_fork_seed_matches_fork(self):
+        # fork() must be equivalent to seeding with fork_seed().
+        assert fork(3, "label").random() == make_rng(fork_seed(3, "label")).random()
+
+
+class TestBitGeneration:
+    def test_random_bits_length_and_values(self):
+        bits = random_bits(make_rng(0), 100)
+        assert len(bits) == 100
+        assert set(bits) <= {0, 1}
+
+    def test_random_bits_negative_count(self):
+        with pytest.raises(ValueError):
+            random_bits(make_rng(0), -1)
+
+    def test_random_bitstring_int_width(self):
+        value = random_bitstring_int(make_rng(0), 40)
+        assert 0 <= value < (1 << 40)
+
+    def test_random_bitstring_int_zero(self):
+        assert random_bitstring_int(make_rng(0), 0) == 0
+
+    def test_random_bitstring_roughly_balanced(self):
+        value = random_bitstring_int(make_rng(5), 4096)
+        ones = value.bit_count()
+        assert 1500 < ones < 2600

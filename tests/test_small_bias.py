@@ -1,0 +1,102 @@
+"""Tests for the AGHP small-bias generator (Lemma 2.5 substitute)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.small_bias import (
+    SmallBiasGenerator,
+    empirical_bias,
+    required_field_degree,
+    seed_length_bits,
+)
+
+
+class TestParameters:
+    def test_required_field_degree(self):
+        assert required_field_degree(100, 0.01) == 16
+        assert required_field_degree(10_000, 2**-40) == 64
+
+    def test_required_field_degree_validation(self):
+        with pytest.raises(ValueError):
+            required_field_degree(0, 0.1)
+        with pytest.raises(ValueError):
+            required_field_degree(10, 1.5)
+
+    def test_seed_length(self):
+        assert seed_length_bits(64) == 128
+
+    def test_from_bit_list(self):
+        bits = [1] * 128
+        generator = SmallBiasGenerator.from_bit_list(bits, field_degree=64)
+        assert generator.x == (1 << 64) - 1
+
+    def test_from_bit_list_too_short(self):
+        with pytest.raises(ValueError):
+            SmallBiasGenerator.from_bit_list([1, 0, 1], field_degree=64)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = SmallBiasGenerator(seed_bits=123456789, field_degree=32)
+        b = SmallBiasGenerator(seed_bits=123456789, field_degree=32)
+        assert a.bits(0, 100) == b.bits(0, 100)
+
+    def test_random_access_matches_sequential(self):
+        generator = SmallBiasGenerator(seed_bits=0xDEADBEEFCAFEBABE, field_degree=64)
+        sequential = generator.bits(0, 200)
+        for index in (0, 1, 17, 63, 199):
+            assert generator.bit(index) == sequential[index]
+
+    def test_packed_bits_matches_bits(self):
+        generator = SmallBiasGenerator(seed_bits=9876543210, field_degree=32)
+        bits = generator.bits(37, 48)
+        packed = generator.packed_bits(37, 48)
+        assert packed == sum(bit << index for index, bit in enumerate(bits))
+
+    def test_offset_validation(self):
+        generator = SmallBiasGenerator(seed_bits=1, field_degree=32)
+        with pytest.raises(ValueError):
+            generator.bits(-1, 4)
+        with pytest.raises(ValueError):
+            generator.bit(-2)
+
+    def test_different_seeds_give_different_streams(self):
+        a = SmallBiasGenerator(seed_bits=1 | (7 << 64), field_degree=64)
+        b = SmallBiasGenerator(seed_bits=2 | (9 << 64), field_degree=64)
+        assert a.bits(0, 128) != b.bits(0, 128)
+
+
+class TestBias:
+    def test_empirical_bias_requires_bits(self):
+        with pytest.raises(ValueError):
+            empirical_bias([])
+
+    def test_empirical_bias_of_constant_sequence(self):
+        assert empirical_bias([0] * 10) == pytest.approx(0.5)
+
+    def test_average_bias_over_random_seeds_is_small(self):
+        """Averaged over seeds, the output of a 2000-bit prefix is close to balanced."""
+        rng = random.Random(7)
+        biases = []
+        for _ in range(12):
+            seed = rng.getrandbits(128)
+            generator = SmallBiasGenerator(seed_bits=seed, field_degree=64)
+            biases.append(empirical_bias(generator.bits(0, 1500)))
+        assert sum(biases) / len(biases) < 0.06
+
+    def test_parity_of_linear_combinations_is_balanced(self):
+        """δ-bias is about parities of arbitrary index subsets, not just single bits."""
+        rng = random.Random(11)
+        subset = sorted(rng.sample(range(512), 31))
+        parities = []
+        for _ in range(40):
+            generator = SmallBiasGenerator(seed_bits=rng.getrandbits(128), field_degree=64)
+            bits = generator.bits(0, 512)
+            parities.append(sum(bits[i] for i in subset) % 2)
+        fraction_of_ones = sum(parities) / len(parities)
+        assert 0.2 <= fraction_of_ones <= 0.8

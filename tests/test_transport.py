@@ -1,0 +1,84 @@
+"""Unit tests for the synchronous noisy transport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.base import NoiselessAdversary
+from repro.adversary.strategies import DeletionAdversary, RandomNoiseAdversary
+from repro.network.topologies import line_topology
+from repro.network.transport import NoisyNetwork
+
+
+class TestTransmit:
+    def test_clean_delivery(self):
+        network = NoisyNetwork(line_topology(3))
+        assert network.transmit(0, 1, 1, phase="simulation") == 1
+        assert network.stats.transmissions == 1
+
+    def test_silence_costs_nothing(self):
+        network = NoisyNetwork(line_topology(3))
+        assert network.transmit(0, 1, None, phase="simulation") is None
+        assert network.stats.transmissions == 0
+
+    def test_rejects_non_links(self):
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError):
+            network.transmit(0, 2, 1, phase="simulation")
+
+    def test_rejects_bad_symbols(self):
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError):
+            network.transmit(0, 1, 7, phase="simulation")
+
+    def test_round_counter(self):
+        network = NoisyNetwork(line_topology(3))
+        network.advance_rounds(5)
+        assert network.current_round == 5
+        with pytest.raises(ValueError):
+            network.advance_rounds(-1)
+
+
+class TestExchangeWindow:
+    def test_window_delivers_all_directed_links(self):
+        graph = line_topology(3)
+        network = NoisyNetwork(graph)
+        received = network.exchange_window({(0, 1): [1, 0]}, window_rounds=2, phase="simulation")
+        assert set(received) == set(graph.directed_edges())
+        assert received[(0, 1)] == [1, 0]
+        assert received[(1, 0)] == [None, None]
+        assert network.current_round == 2
+
+    def test_window_rejects_overlong_messages(self):
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError):
+            network.exchange_window({(0, 1): [1, 1, 1]}, window_rounds=2, phase="simulation")
+
+    def test_window_counts_communication(self):
+        network = NoisyNetwork(line_topology(3))
+        network.exchange_window({(0, 1): [1, 1], (2, 1): [0]}, window_rounds=3, phase="simulation")
+        assert network.communication() == 3
+
+    def test_deletions_recorded(self):
+        adversary = DeletionAdversary(deletion_probability=1.0, seed=0)
+        network = NoisyNetwork(line_topology(3), adversary=adversary)
+        received = network.exchange_window({(0, 1): [1]}, window_rounds=1, phase="simulation")
+        assert received[(0, 1)] == [None]
+        assert network.stats.deletions == 1
+        assert network.noise_fraction() == 1.0
+
+    def test_insertions_possible_on_idle_links(self):
+        adversary = RandomNoiseAdversary(corruption_probability=0.0, insertion_probability=1.0, seed=1)
+        network = NoisyNetwork(line_topology(3), adversary=adversary)
+        received = network.exchange_window({}, window_rounds=1, phase="simulation")
+        # every directed link received an inserted symbol
+        assert all(symbols[0] in (0, 1) for symbols in received.values())
+        assert network.stats.insertions == len(received)
+        # insertions do not count as transmissions
+        assert network.stats.transmissions == 0
+
+    def test_non_inserting_adversary_skips_idle_slots(self):
+        network = NoisyNetwork(line_topology(3), adversary=NoiselessAdversary())
+        received = network.exchange_window({}, window_rounds=4, phase="simulation")
+        assert all(symbols == [None] * 4 for symbols in received.values())
+        assert network.stats.transmissions == 0
