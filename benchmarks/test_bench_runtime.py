@@ -1,0 +1,72 @@
+"""Experiment ``runtime_throughput``: serial vs process-pool trial execution.
+
+Not a paper experiment — an infrastructure benchmark for the
+``repro.runtime`` subsystem.  It runs the same small noise sweep (one
+workload, one scheme, a batch of independent seeded trials) through
+``SerialBackend`` and ``ProcessPoolBackend`` and records both wall-clock
+times, plus the cached-re-run time, in ``extra_info``.
+
+Shape we assert: the two backends produce **bit-identical** metrics (the
+runtime's determinism contract), and a cached re-run performs zero new
+simulations.  Speed-up is recorded but not asserted — on a loaded CI box a
+2-worker pool can legitimately lose to serial for small batches.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.parameters import algorithm_a
+from repro.experiments.factories import RandomNoiseFactory
+from repro.experiments.harness import run_trials
+from repro.experiments.workloads import gossip_workload
+from repro.runtime import ProcessPoolBackend, ResultCache, SerialBackend
+
+TRIALS = 6
+
+
+def _sweep(backend, cache=None):
+    workload = gossip_workload(topology="line", num_nodes=5, phases=6)
+    return run_trials(
+        workload,
+        algorithm_a(),
+        adversary_factory=RandomNoiseFactory(fraction=0.004),
+        trials=TRIALS,
+        backend=backend,
+        cache=cache,
+    )
+
+
+def test_serial_vs_process_pool_throughput(benchmark, run_once):
+    serial_backend = SerialBackend()
+    start = time.perf_counter()
+    serial = _sweep(serial_backend)
+    serial_seconds = time.perf_counter() - start
+
+    pool_backend = ProcessPoolBackend(max_workers=2)
+    pooled = run_once(benchmark, _sweep, pool_backend)
+
+    # Determinism contract: parallel execution is bit-identical to serial.
+    assert pooled.runs == serial.runs
+    assert pooled.aggregate == serial.aggregate
+    assert serial_backend.trials_executed == pool_backend.trials_executed == TRIALS
+
+    # Cached re-run: zero new simulations.
+    cache = ResultCache()
+    cached_backend = SerialBackend()
+    _sweep(cached_backend, cache=cache)
+    executed_after_warmup = cached_backend.trials_executed
+    start = time.perf_counter()
+    rerun = _sweep(cached_backend, cache=cache)
+    cached_seconds = time.perf_counter() - start
+    assert cached_backend.trials_executed == executed_after_warmup
+    assert rerun.runs == serial.runs
+
+    benchmark.extra_info["trials"] = TRIALS
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 4)
+    benchmark.extra_info["cached_rerun_seconds"] = round(cached_seconds, 4)
+    benchmark.extra_info["pool_speedup_vs_serial"] = (
+        round(serial_seconds / benchmark.stats.stats.mean, 3)
+        if benchmark.stats.stats.mean
+        else None
+    )

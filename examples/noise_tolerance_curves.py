@@ -10,12 +10,17 @@ Two of the theorem-shaped claims, measured:
   with the length of the underlying protocol.
 
 Run with:  python examples/noise_tolerance_curves.py
+
+The sweeps run through the shared runtime context; with a directory-backed
+``ResultCache`` (instead of the in-memory one used here) a re-run of this
+script would serve every already-computed trial from disk.
 """
 
 from __future__ import annotations
 
 from repro.core.parameters import algorithm_a, algorithm_b
 from repro.experiments import gossip_workload, noise_sweep, rate_vs_protocol_size
+from repro.runtime import ResultCache, use_runtime
 
 
 def success_curves() -> None:
@@ -40,8 +45,9 @@ def rate_curve() -> None:
 
 
 def main() -> None:
-    success_curves()
-    rate_curve()
+    with use_runtime(cache=ResultCache()):
+        success_curves()
+        rate_curve()
 
 
 if __name__ == "__main__":

@@ -7,7 +7,11 @@ execute Algorithms A, B and C and the uncoded / repetition baselines on each
 topology at that scheme's nominal noise level and report the observed rate
 and success probability.
 
-Run with:  python examples/reproduce_table1.py [--quick]
+Run with:  python examples/reproduce_table1.py [--quick] [--jobs N] [--cache-dir DIR]
+
+``--jobs`` fans the measured trials out over worker processes (the results
+are bit-identical to a serial run); ``--cache-dir`` persists trial results so
+a re-run with the same parameters recomputes nothing.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from __future__ import annotations
 import argparse
 
 from repro.experiments import TABLE1_COLUMNS, build_table1, format_table
+from repro.runtime import ProcessPoolBackend, ResultCache, SerialBackend, use_runtime
 
 
 def main() -> None:
@@ -22,18 +27,25 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true", help="fewer topologies and trials")
     parser.add_argument("--nodes", type=int, default=5, help="parties per topology")
     parser.add_argument("--trials", type=int, default=2, help="randomised trials per cell")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    parser.add_argument("--cache-dir", default=None, help="persistent trial-result cache")
+    parser.add_argument("--seed", type=int, default=0, help="base seed for all trials")
     args = parser.parse_args()
 
     topologies = ("line",) if args.quick else ("line", "star", "clique")
     trials = 1 if args.quick else args.trials
+    backend = ProcessPoolBackend(max_workers=args.jobs) if args.jobs > 1 else SerialBackend()
 
-    rows = build_table1(
-        topologies=topologies,
-        num_nodes=args.nodes,
-        phases=10 if args.quick else 12,
-        trials=trials,
-        include_analytical=True,
-    )
+    print(f"seed: {args.seed}  backend: {backend.name}")
+    with use_runtime(backend=backend, cache=ResultCache(args.cache_dir)):
+        rows = build_table1(
+            topologies=topologies,
+            num_nodes=args.nodes,
+            phases=10 if args.quick else 12,
+            trials=trials,
+            base_seed=args.seed,
+            include_analytical=True,
+        )
     print(format_table(rows, TABLE1_COLUMNS))
     print(
         "\nReading guide: the three Algorithm rows should show success_rate 1.0 at their"

@@ -13,9 +13,12 @@ The package provides:
 * :mod:`repro.hashing`, :mod:`repro.coding` — inner-product hashes, δ-biased
   strings and the error-correcting code used by the randomness exchange;
 * :mod:`repro.baselines`, :mod:`repro.experiments`, :mod:`repro.analysis` —
-  baselines, the Table-1 harness and theorem-validation sweeps.
+  baselines, the Table-1 harness and theorem-validation sweeps;
+* :mod:`repro.runtime` — the trial execution engine: serial / process-pool
+  backends (bit-identical results), content-addressed result caching and a
+  persistent run store.
 
-Quick start::
+Quick start — one protected simulation::
 
     from repro import simulate, algorithm_a
     from repro.network import line_topology
@@ -27,6 +30,19 @@ Quick start::
     adversary = RandomNoiseAdversary(corruption_probability=0.002, seed=1)
     result = simulate(protocol, scheme=algorithm_a(), adversary=adversary, seed=7)
     assert result.success
+
+Quick start — a repeated-trial experiment, parallel and cached::
+
+    from repro import ProcessPoolBackend, ResultCache, run_trials, use_runtime
+    from repro.experiments import gossip_workload
+    from repro.experiments.factories import RandomNoiseFactory
+
+    workload = gossip_workload(topology="line", num_nodes=5, phases=8)
+    with use_runtime(backend=ProcessPoolBackend(max_workers=4),
+                     cache=ResultCache(".repro-cache")):
+        trial_set = run_trials(workload, algorithm_a(),
+                               adversary_factory=RandomNoiseFactory(0.002), trials=32)
+    assert trial_set.aggregate.success_rate == 1.0
 """
 
 from repro.core import (
@@ -40,8 +56,23 @@ from repro.core import (
     scheme_by_name,
     simulate,
 )
+from repro.experiments.harness import TrialSet, run_trials, sweep
+from repro.runtime import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    ResultCache,
+    RunStore,
+    SerialBackend,
+    TrialKey,
+    TrialSpec,
+    execute_trials,
+    fingerprint_trial,
+    get_runtime,
+    set_default_runtime,
+    use_runtime,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "InteractiveCodingSimulator",
@@ -53,5 +84,22 @@ __all__ = [
     "crs_oblivious_scheme",
     "scheme_by_name",
     "simulate",
+    # experiment harness
+    "TrialSet",
+    "run_trials",
+    "sweep",
+    # runtime
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "RunStore",
+    "TrialSpec",
+    "TrialKey",
+    "execute_trials",
+    "fingerprint_trial",
+    "get_runtime",
+    "set_default_runtime",
+    "use_runtime",
     "__version__",
 ]

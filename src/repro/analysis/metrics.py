@@ -16,7 +16,7 @@ harness and the noise sweeps report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from statistics import mean
 from typing import Dict, Iterable, List, Optional
 
@@ -71,6 +71,18 @@ class RunMetrics:
             "rewinds": self.rewinds_sent,
         }
 
+    def to_payload(self) -> Dict[str, object]:
+        """Lossless JSON-able representation (unlike :meth:`as_dict`, which
+        is a human-facing summary)."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "RunMetrics":
+        """Inverse of :meth:`to_payload`; ignores unknown keys so newer
+        writers stay readable by older code."""
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
 
 @dataclass(frozen=True)
 class AggregateMetrics:
@@ -96,6 +108,16 @@ class AggregateMetrics:
             "mean_noise_fraction": self.mean_noise_fraction,
             "mean_corruptions": self.mean_corruptions,
         }
+
+    def to_payload(self) -> Dict[str, object]:
+        """Lossless JSON-able representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, object]) -> "AggregateMetrics":
+        """Inverse of :meth:`to_payload`; ignores unknown keys."""
+        known = {spec.name for spec in fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 def summarize_runs(runs: Iterable[RunMetrics], scheme: Optional[str] = None) -> AggregateMetrics:

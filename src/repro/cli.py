@@ -7,15 +7,27 @@ writing any Python:
 * ``noise-sweep``   — success probability around a scheme's nominal noise level,
 * ``rate``          — the constant-rate check (overhead vs CC(Π)),
 * ``ablations``     — flag-passing / rewind / hash-length / chunk-size ablations,
-* ``simulate``      — one simulation of a chosen workload/scheme/noise level.
+* ``simulate``      — one simulation of a chosen workload/scheme/noise level,
+* ``runs``          — list / show experiment runs persisted by ``--store-dir``.
 
 Every command prints a fixed-width table and can also write a JSON or Markdown
-report via ``--output``.
+report via ``--output``.  Experiment commands share the runtime flags:
+
+* ``--jobs N``      — fan trials out over N worker processes (results are
+  bit-identical to serial execution; see ``src/repro/runtime/README.md``),
+* ``--cache-dir``   — persist trial results so re-runs skip finished work,
+* ``--no-cache``    — disable result caching entirely (even in-memory),
+* ``--store-dir``   — persist every trial set and the final report to a run
+  store that ``repro runs`` can browse later,
+* ``--seed``        — the base seed; printed with every run so each published
+  number can be regenerated from the command line.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -34,76 +46,166 @@ from repro.experiments.reporting import ExperimentReport
 from repro.experiments.table1 import TABLE1_COLUMNS, build_table1
 from repro.experiments.theorem_validation import rate_vs_protocol_size
 from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
+from repro.runtime import (
+    ProcessPoolBackend,
+    ResultCache,
+    RunStore,
+    SerialBackend,
+    use_runtime,
+)
+
+#: Default run-store location for the ``runs`` command (overridable per call).
+DEFAULT_STORE_DIR = os.environ.get("REPRO_STORE_DIR", ".repro-runs")
 
 
-def _emit(report: ExperimentReport, columns: Sequence[str], output: Optional[str]) -> None:
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """The runtime/reproducibility flags shared by all experiment commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for trial execution (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the persistent trial-result cache (enables cross-run reuse)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable trial-result caching entirely (even within this run)",
+    )
+    parser.add_argument(
+        "--store-dir", default=None,
+        help="persist trial sets and the report to this run store (browse with 'repro runs')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed for all trials")
+
+
+def _runtime_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """Translate CLI flags into a runtime-context override for ``use_runtime``."""
+    if args.jobs > 1:
+        backend = ProcessPoolBackend(max_workers=args.jobs)
+    else:
+        backend = SerialBackend()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    store = RunStore(args.store_dir) if args.store_dir else None
+    return {"backend": backend, "cache": cache, "store": store}
+
+
+def _emit(
+    report: ExperimentReport,
+    columns: Sequence[str],
+    output: Optional[str],
+    seed: Optional[int] = None,
+    store: Optional[RunStore] = None,
+) -> None:
+    if seed is not None:
+        print(f"seed: {seed}")
     print(format_table(report.rows, columns))
+    if store is not None:
+        run_id = report.save_to_store(store)
+        print(f"\nrun persisted as {run_id} in {store.root}")
     if output:
         path = report.save(output)
         print(f"\nreport written to {path}")
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
-    rows = build_table1(
-        topologies=tuple(args.topologies),
-        num_nodes=args.nodes,
-        phases=args.phases,
-        trials=args.trials,
-        include_analytical=not args.measured_only,
-    )
+    overrides = _runtime_overrides(args)
+    with use_runtime(**overrides):
+        rows = build_table1(
+            topologies=tuple(args.topologies),
+            num_nodes=args.nodes,
+            phases=args.phases,
+            trials=args.trials,
+            base_seed=args.seed,
+            include_analytical=not args.measured_only,
+        )
     report = ExperimentReport(
         experiment="table1",
         rows=rows,
-        parameters={"nodes": args.nodes, "phases": args.phases, "trials": args.trials},
+        parameters={"nodes": args.nodes, "phases": args.phases, "trials": args.trials, "seed": args.seed},
     )
-    _emit(report, TABLE1_COLUMNS, args.output)
+    _emit(report, TABLE1_COLUMNS, args.output, seed=args.seed, store=overrides["store"])
 
 
 def _cmd_noise_sweep(args: argparse.Namespace) -> None:
     workload = gossip_workload(topology=args.topology, num_nodes=args.nodes, phases=args.phases)
     scheme = scheme_by_name(args.scheme)
-    points = noise_sweep(
-        workload, scheme, multipliers=tuple(args.multipliers), trials=args.trials
-    )
+    overrides = _runtime_overrides(args)
+    with use_runtime(**overrides):
+        points = noise_sweep(
+            workload, scheme, multipliers=tuple(args.multipliers), trials=args.trials,
+            base_seed=args.seed,
+        )
     rows = [point.as_dict() for point in points]
     report = ExperimentReport(
         experiment="noise_sweep",
         rows=rows,
-        parameters={"scheme": args.scheme, "topology": args.topology, "nodes": args.nodes},
+        parameters={"scheme": args.scheme, "topology": args.topology, "nodes": args.nodes, "seed": args.seed},
     )
-    _emit(report, ["multiplier", "target_fraction", "measured_fraction", "success_rate", "mean_overhead"], args.output)
+    _emit(
+        report,
+        ["multiplier", "target_fraction", "measured_fraction", "success_rate", "mean_overhead"],
+        args.output,
+        seed=args.seed,
+        store=overrides["store"],
+    )
 
 
 def _cmd_rate(args: argparse.Namespace) -> None:
     scheme = scheme_by_name(args.scheme)
-    points = rate_vs_protocol_size(
-        scheme,
-        phases_grid=tuple(args.phases_grid),
-        topology=args.topology,
-        num_nodes=args.nodes,
-        trials=args.trials,
-    )
+    overrides = _runtime_overrides(args)
+    with use_runtime(**overrides):
+        points = rate_vs_protocol_size(
+            scheme,
+            phases_grid=tuple(args.phases_grid),
+            topology=args.topology,
+            num_nodes=args.nodes,
+            trials=args.trials,
+            base_seed=args.seed,
+        )
     rows = [point.as_dict() for point in points]
     report = ExperimentReport(
         experiment="rate_vs_protocol_size",
         rows=rows,
-        parameters={"scheme": args.scheme, "topology": args.topology},
+        parameters={"scheme": args.scheme, "topology": args.topology, "seed": args.seed},
     )
-    _emit(report, ["x", "overhead", "rate", "success_rate"], args.output)
+    _emit(report, ["x", "overhead", "rate", "success_rate"], args.output, seed=args.seed, store=overrides["store"])
 
 
 def _cmd_ablations(args: argparse.Namespace) -> None:
+    overrides = _runtime_overrides(args)
     rows: List[Dict[str, object]] = []
-    if args.which in ("flag_passing", "all"):
-        rows += [dict(row.as_dict(), ablation="flag_passing") for row in flag_passing_ablation(trials=args.trials)]
-    if args.which in ("rewind", "all"):
-        rows += [dict(row.as_dict(), ablation="rewind") for row in rewind_ablation(trials=args.trials)]
-    if args.which in ("hash_length", "all"):
-        rows += [dict(row.as_dict(), ablation="hash_length") for row in hash_length_ablation(trials=args.trials)]
-    if args.which in ("chunk_size", "all"):
-        rows += [dict(row.as_dict(), ablation="chunk_size") for row in chunk_size_ablation(trials=args.trials)]
-    report = ExperimentReport(experiment="ablations", rows=rows, parameters={"which": args.which})
-    _emit(report, ["ablation", "label", "success_rate", "mean_overhead", "mean_iterations"], args.output)
+    with use_runtime(**overrides):
+        if args.which in ("flag_passing", "all"):
+            rows += [
+                dict(row.as_dict(), ablation="flag_passing")
+                for row in flag_passing_ablation(trials=args.trials, base_seed=args.seed)
+            ]
+        if args.which in ("rewind", "all"):
+            rows += [
+                dict(row.as_dict(), ablation="rewind")
+                for row in rewind_ablation(trials=args.trials, base_seed=args.seed)
+            ]
+        if args.which in ("hash_length", "all"):
+            rows += [
+                dict(row.as_dict(), ablation="hash_length")
+                for row in hash_length_ablation(trials=args.trials, base_seed=args.seed)
+            ]
+        if args.which in ("chunk_size", "all"):
+            rows += [
+                dict(row.as_dict(), ablation="chunk_size")
+                for row in chunk_size_ablation(trials=args.trials, base_seed=args.seed)
+            ]
+    report = ExperimentReport(
+        experiment="ablations", rows=rows, parameters={"which": args.which, "seed": args.seed}
+    )
+    _emit(
+        report,
+        ["ablation", "label", "success_rate", "mean_overhead", "mean_iterations"],
+        args.output,
+        seed=args.seed,
+        store=overrides["store"],
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> None:
@@ -126,7 +228,57 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
         rows=rows,
         parameters={"workload": args.workload, "scheme": args.scheme, "noise": args.noise, "seed": args.seed},
     )
-    _emit(report, ["scheme", "success", "cc_protocol", "cc_simulation", "overhead", "noise_fraction"], args.output)
+    store = RunStore(args.store_dir) if args.store_dir else None
+    _emit(
+        report,
+        ["scheme", "success", "cc_protocol", "cc_simulation", "overhead", "noise_fraction"],
+        args.output,
+        seed=args.seed,
+        store=store,
+    )
+
+
+_RUNS_COLUMNS = ["run_id", "kind", "experiment", "label", "trials", "success_rate", "created_at"]
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    rows = store.query(kind=args.kind, experiment=args.experiment)
+    if not rows:
+        print(f"(no runs in {store.root})")
+        return
+    print(format_table(rows, _RUNS_COLUMNS))
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    try:
+        payload = store.load(args.run_id)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])  # str(KeyError) would add quotes
+    if payload.get("kind") == "trial_set":
+        stored = RunStore.trial_set_from_payload(payload)
+        print(f"run {stored.run_id}: {stored.label} (recorded {stored.created_at})")
+        if stored.parameters:
+            print("parameters: " + json.dumps(stored.parameters, sort_keys=True, default=str))
+        print()
+        print(format_table([run.as_dict() for run in stored.runs], ["scheme", "success", "overhead", "noise_fraction", "iterations_run"]))
+        print()
+        print(format_table([stored.aggregate.as_dict()], ["scheme", "trials", "success_rate", "mean_overhead", "mean_noise_fraction"]))
+    elif payload.get("kind") == "report":
+        rows = list(payload.get("rows", []))
+        print(f"run {payload['run_id']}: report {payload.get('experiment')} (recorded {payload.get('created_at')})")
+        if payload.get("parameters"):
+            print("parameters: " + json.dumps(payload["parameters"], sort_keys=True, default=str))
+        print()
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        print(format_table(rows, columns) if rows else "(no rows)")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -140,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--trials", type=int, default=2)
     table1.add_argument("--measured-only", action="store_true")
     table1.add_argument("--output")
+    _add_runtime_arguments(table1)
     table1.set_defaults(func=_cmd_table1)
 
     sweep = sub.add_parser("noise-sweep", help="success probability vs noise level")
@@ -150,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--multipliers", nargs="+", type=float, default=[0.5, 1.0, 4.0, 16.0])
     sweep.add_argument("--trials", type=int, default=3)
     sweep.add_argument("--output")
+    _add_runtime_arguments(sweep)
     sweep.set_defaults(func=_cmd_noise_sweep)
 
     rate = sub.add_parser("rate", help="constant-rate check (overhead vs CC(Pi))")
@@ -159,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     rate.add_argument("--phases-grid", nargs="+", type=int, default=[8, 24, 48])
     rate.add_argument("--trials", type=int, default=1)
     rate.add_argument("--output")
+    _add_runtime_arguments(rate)
     rate.set_defaults(func=_cmd_rate)
 
     ablations = sub.add_parser("ablations", help="design-choice ablations")
@@ -167,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ablations.add_argument("--trials", type=int, default=2)
     ablations.add_argument("--output")
+    _add_runtime_arguments(ablations)
     ablations.set_defaults(func=_cmd_ablations)
 
     run = sub.add_parser("simulate", help="run one noise-resilient simulation")
@@ -176,8 +332,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scheme", choices=sorted(SCHEME_PRESETS), default="algorithm_a")
     run.add_argument("--noise", type=float, default=0.002)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--store-dir", default=None, help="persist the result to this run store")
     run.add_argument("--output")
     run.set_defaults(func=_cmd_simulate)
+
+    runs = sub.add_parser("runs", help="list or inspect persisted experiment runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="list all runs in a store")
+    runs_list.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_list.add_argument("--kind", choices=["trial_set", "report"], default=None)
+    runs_list.add_argument("--experiment", default=None)
+    runs_list.set_defaults(func=_cmd_runs_list)
+
+    runs_show = runs_sub.add_parser("show", help="show one persisted run")
+    runs_show.add_argument("run_id")
+    runs_show.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_show.set_defaults(func=_cmd_runs_show)
 
     return parser
 
@@ -185,7 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except BrokenPipeError:  # e.g. `repro runs list | head` closing the pipe early
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        return 0
     return 0
 
 

@@ -8,6 +8,14 @@ from repro.experiments.ablations import (
     rewind_ablation,
     single_error_cost,
 )
+from repro.experiments.factories import (
+    BoundFractionFactory,
+    LinkTargetedFactory,
+    NoiseOrNoiselessFactory,
+    NoiselessFactory,
+    PhaseTargetedFactory,
+    RandomNoiseFactory,
+)
 from repro.experiments.harness import TrialSet, format_table, noiseless_factory, run_trials, sweep
 from repro.experiments.noise_sweep import NoiseSweepPoint, crossover_multiplier, noise_sweep
 from repro.experiments.reporting import ExperimentReport, load_report
@@ -36,6 +44,12 @@ __all__ = [
     "hash_length_ablation",
     "rewind_ablation",
     "single_error_cost",
+    "BoundFractionFactory",
+    "LinkTargetedFactory",
+    "NoiseOrNoiselessFactory",
+    "NoiselessFactory",
+    "PhaseTargetedFactory",
+    "RandomNoiseFactory",
     "TrialSet",
     "format_table",
     "noiseless_factory",

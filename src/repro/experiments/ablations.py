@@ -24,10 +24,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversary.base import Adversary
-from repro.adversary.oblivious import AdditiveObliviousAdversary
-from repro.adversary.strategies import LinkTargetedAdversary, RandomNoiseAdversary
+from repro.adversary.strategies import LinkTargetedAdversary
 from repro.core.engine import simulate
 from repro.core.parameters import SchemeParameters, crs_oblivious_scheme
+from repro.experiments.factories import LinkTargetedFactory, RandomNoiseFactory
 from repro.experiments.harness import run_trials
 from repro.experiments.workloads import Workload, gossip_workload, line_example_workload
 
@@ -62,11 +62,11 @@ def _measure(
     label: str,
     extra: Optional[Dict[str, float]] = None,
 ) -> AblationRow:
-    runs = []
-    for trial in range(trials):
-        seed = base_seed + trial * 131 + 7
-        result = simulate(workload.protocol, scheme=scheme, adversary=adversary_factory(seed), seed=seed)
-        runs.append(result)
+    # Routed through the runtime (ablations parallelise and cache like every
+    # other experiment); the ablation-specific seed schedule is kept verbatim.
+    seeds = [base_seed + trial * 131 + 7 for trial in range(trials)]
+    trial_set = run_trials(workload, scheme, adversary_factory=adversary_factory, seeds=seeds, label=label)
+    runs = trial_set.runs
     return AblationRow(
         label=label,
         success_rate=sum(1 for run in runs if run.success) / len(runs),
@@ -86,12 +86,9 @@ def flag_passing_ablation(
     """Compare the scheme with and without the flag-passing phase on the line example."""
     workload = line_example_workload(num_nodes=num_nodes, blocks=blocks, seed=base_seed)
 
-    def factory(seed: int) -> Adversary:
-        # A few errors concentrated near the head of the line, as in the
-        # paper's §1.2 story about wasted end-of-line communication.
-        return LinkTargetedAdversary(
-            target=(0, 1), phases=("simulation",), max_corruptions=errors, seed=seed
-        )
+    # A few errors concentrated near the head of the line, as in the paper's
+    # §1.2 story about wasted end-of-line communication.
+    factory = LinkTargetedFactory(errors=errors)
 
     rows = []
     for enabled in (True, False):
@@ -128,10 +125,7 @@ def rewind_ablation(
     """
     workload = line_example_workload(num_nodes=num_nodes, blocks=blocks, seed=base_seed)
 
-    def factory(seed: int) -> Adversary:
-        return LinkTargetedAdversary(
-            target=(0, 1), phases=("simulation",), max_corruptions=errors, seed=seed
-        )
+    factory = LinkTargetedFactory(errors=errors)
 
     rows = []
     for enabled in (True, False):
@@ -162,8 +156,7 @@ def hash_length_ablation(
     """Success and overhead as a function of the hash output length τ."""
     workload = gossip_workload(topology=topology, num_nodes=num_nodes, phases=phases, seed=base_seed)
 
-    def factory(seed: int) -> Adversary:
-        return RandomNoiseAdversary(corruption_probability=noise_fraction, seed=seed)
+    factory = RandomNoiseFactory(fraction=noise_fraction, insertion_fraction=0.0)
 
     rows = []
     for bits in hash_bits_grid:
@@ -193,8 +186,7 @@ def chunk_size_ablation(
     """Rate as a function of the chunk size (bigger chunks amortise control traffic)."""
     workload = gossip_workload(topology=topology, num_nodes=num_nodes, phases=phases, seed=base_seed)
 
-    def factory(seed: int) -> Adversary:
-        return RandomNoiseAdversary(corruption_probability=0.0, seed=seed)
+    factory = RandomNoiseFactory(fraction=0.0, insertion_fraction=0.0)
 
     rows = []
     for multiplier in multiplier_grid:

@@ -6,25 +6,44 @@ each trial sees fresh noise randomness), run several seeds, and aggregate the
 outcomes.  ``run_trials`` does exactly that and returns both the individual
 :class:`RunMetrics` and the :class:`AggregateMetrics` summary; ``sweep`` maps
 the same procedure over a parameter grid.
+
+Execution is delegated to :mod:`repro.runtime`: trials run on the backend of
+the active runtime context (serial by default, a process pool under
+``--jobs N``), already-computed trials are served from the
+:class:`~repro.runtime.cache.ResultCache`, and — when a
+:class:`~repro.runtime.store.RunStore` is active — every trial set is
+persisted for later ``repro runs`` inspection.  Passing ``backend=`` /
+``cache=`` / ``store=`` explicitly overrides the ambient context per call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.adversary.base import Adversary, NoiselessAdversary
+from repro.adversary.base import Adversary
 from repro.analysis.metrics import AggregateMetrics, RunMetrics, summarize_runs
-from repro.core.engine import simulate
 from repro.core.parameters import SchemeParameters
+from repro.experiments.factories import NoiselessFactory
 from repro.experiments.workloads import Workload
+from repro.runtime import (
+    ExecutionBackend,
+    RunStore,
+    build_trial_specs,
+    derive_trial_seed,
+    execute_trials,
+    get_runtime,
+)
+from repro.runtime.context import UNSET as _UNSET
 
 AdversaryFactory = Callable[[int], Adversary]
 
 
-def noiseless_factory(_: int) -> Adversary:
-    """The default adversary factory: no noise."""
-    return NoiselessAdversary()
+#: The default adversary factory: no noise.  A :class:`NoiselessFactory`
+#: instance rather than a plain function, so default (noiseless) trials share
+#: their cache fingerprint with explicitly constructed ``NoiselessFactory()``
+#: cells instead of splitting the cache over two spellings of "no noise".
+noiseless_factory: AdversaryFactory = NoiselessFactory()
 
 
 @dataclass
@@ -48,26 +67,60 @@ def run_trials(
     trials: int = 3,
     base_seed: int = 0,
     label: Optional[str] = None,
+    backend: Optional[ExecutionBackend] = None,
+    cache=_UNSET,
+    store=_UNSET,
+    seeds: Optional[Sequence[int]] = None,
 ) -> TrialSet:
-    """Run ``trials`` independent simulations of one configuration."""
-    if trials < 1:
-        raise ValueError("trials must be positive")
-    runs: List[RunMetrics] = []
-    for trial in range(trials):
-        seed = base_seed + 1000 * trial + 17
-        adversary = adversary_factory(seed)
-        result = simulate(workload.protocol, scheme=scheme, adversary=adversary, seed=seed)
-        runs.append(result.metrics)
+    """Run ``trials`` independent simulations of one configuration.
+
+    Each trial gets its own fully-derived seed (``derive_trial_seed``), so the
+    result is independent of execution order and backend.  ``seeds`` overrides
+    the derivation for harnesses with their own seed schedule.  ``backend`` /
+    ``cache`` / ``store`` default to the active runtime context
+    (:func:`repro.runtime.use_runtime`); pass ``cache=None`` / ``store=None``
+    to disable either for this call.
+    """
+    if seeds is None:
+        if trials < 1:
+            raise ValueError("trials must be positive")
+        seeds = [derive_trial_seed(base_seed, trial) for trial in range(trials)]
+    else:
+        seeds = list(seeds)
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+    specs = build_trial_specs(workload, scheme, adversary_factory, seeds)
+    runs = execute_trials(specs, backend=backend, cache=cache)
     name = label if label is not None else f"{workload.name}/{scheme.name}"
-    return TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
+    trial_set = TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
+    run_store: Optional[RunStore] = get_runtime().store if store is _UNSET else store
+    if run_store is not None:
+        run_store.record_trial_set(
+            label=trial_set.label,
+            runs=trial_set.runs,
+            aggregate=trial_set.aggregate,
+            experiment="run_trials",
+            parameters={"scheme": scheme.name, "workload": workload.name, "seeds": list(seeds)},
+        )
+    return trial_set
 
 
 def sweep(
     cells: Iterable[Dict[str, object]],
     runner: Callable[..., TrialSet],
+    backend: Optional[ExecutionBackend] = None,
+    cache=_UNSET,
 ) -> List[TrialSet]:
-    """Run a list of keyword-argument cells through ``runner`` and collect results."""
-    return [runner(**cell) for cell in cells]
+    """Run a list of keyword-argument cells through ``runner`` and collect results.
+
+    ``backend``/``cache`` install a runtime override for the duration of the
+    sweep, so a runner that routes through :func:`run_trials` (directly or via
+    the experiment modules) picks them up without signature changes.
+    """
+    from repro.runtime import use_runtime
+
+    with use_runtime(backend=backend, cache=cache):
+        return [runner(**cell) for cell in cells]
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:

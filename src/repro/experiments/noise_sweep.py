@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversary.base import Adversary
-from repro.adversary.strategies import RandomNoiseAdversary
 from repro.core.parameters import SchemeParameters
+from repro.experiments.factories import RandomNoiseFactory
 from repro.experiments.harness import run_trials
 from repro.experiments.workloads import Workload
 
@@ -41,16 +41,12 @@ class NoiseSweepPoint:
 
 
 def default_adversary_factory(fraction: float) -> Callable[[int], Adversary]:
-    """Random insertion/deletion/substitution noise at a target per-slot probability."""
+    """Random insertion/deletion/substitution noise at a target per-slot probability.
 
-    def factory(seed: int) -> Adversary:
-        return RandomNoiseAdversary(
-            corruption_probability=fraction,
-            insertion_probability=fraction / 4,
-            seed=seed,
-        )
-
-    return factory
+    Returns a :class:`~repro.experiments.factories.RandomNoiseFactory` — a
+    picklable dataclass rather than a closure, so sweeps parallelise and cache.
+    """
+    return RandomNoiseFactory(fraction=fraction)
 
 
 def noise_sweep(

@@ -35,6 +35,7 @@ from repro.adversary.strategies import (
 from repro.baselines.repetition import run_repetition
 from repro.baselines.uncoded import run_uncoded
 from repro.core.parameters import SchemeParameters, algorithm_a, algorithm_b, algorithm_c
+from repro.experiments.factories import BoundFractionFactory
 from repro.experiments.harness import TrialSet, run_trials
 from repro.experiments.workloads import Workload, gossip_workload
 
@@ -174,7 +175,7 @@ def measure_cell(
         trial_set = run_trials(
             workload,
             cell.scheme,
-            adversary_factory=lambda seed: cell.adversary_factory(seed, fraction),
+            adversary_factory=BoundFractionFactory(cell.adversary_factory, fraction),
             trials=trials,
             base_seed=base_seed,
         )

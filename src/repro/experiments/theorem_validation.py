@@ -16,16 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.adversary.base import Adversary, NoiselessAdversary
 from repro.adversary.oblivious import AdditiveObliviousAdversary
-from repro.adversary.strategies import (
-    CompositeAdversary,
-    PhaseTargetedAdaptiveAdversary,
-    RandomNoiseAdversary,
-)
+from repro.adversary.strategies import CompositeAdversary, RandomNoiseAdversary
 from repro.baselines.uncoded import run_uncoded
-from repro.core.engine import simulate
 from repro.core.parameters import SchemeParameters, algorithm_a, algorithm_b, algorithm_c
+from repro.experiments.factories import (
+    NoiseOrNoiselessFactory,
+    PhaseTargetedFactory,
+    RandomNoiseFactory,
+)
 from repro.experiments.harness import run_trials
 from repro.experiments.workloads import Workload, gossip_workload
 
@@ -62,11 +61,7 @@ def rate_vs_protocol_size(
         workload = gossip_workload(topology=topology, num_nodes=num_nodes, phases=phases, seed=base_seed)
         fraction = scheme.nominal_noise_fraction(workload.graph, epsilon=epsilon) if noisy else 0.0
 
-        def factory(seed: int) -> Adversary:
-            if fraction <= 0.0:
-                return NoiselessAdversary()
-            return RandomNoiseAdversary(corruption_probability=fraction, seed=seed)
-
+        factory = NoiseOrNoiselessFactory(fraction=fraction)
         trial_set = run_trials(workload, scheme, adversary_factory=factory, trials=trials, base_seed=base_seed)
         aggregate = trial_set.aggregate
         points.append(
@@ -127,17 +122,10 @@ def scheme_comparison(
     for label, scheme, noise_kind in configurations:
         fraction = scheme.nominal_noise_fraction(workload.graph, epsilon=epsilon)
 
-        def factory(seed: int, fraction=fraction, noise_kind=noise_kind) -> Adversary:
-            if noise_kind == "adaptive":
-                return PhaseTargetedAdaptiveAdversary(
-                    fraction=fraction,
-                    phases=("meeting_points", "flag_passing", "simulation"),
-                    seed=seed,
-                )
-            return RandomNoiseAdversary(
-                corruption_probability=fraction, insertion_probability=fraction / 4, seed=seed
-            )
-
+        if noise_kind == "adaptive":
+            factory = PhaseTargetedFactory(fraction=fraction)
+        else:
+            factory = RandomNoiseFactory(fraction=fraction)
         trial_set = run_trials(workload, scheme, adversary_factory=factory, trials=trials, base_seed=base_seed)
         aggregate = trial_set.aggregate
         rows.append(

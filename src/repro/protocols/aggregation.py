@@ -42,8 +42,8 @@ class _AggregationParty(PartyLogic):
         self.value = value
         self.value_bits = value_bits
         self.tree = tree
-        self.upward_rounds = upward_rounds
-        self.downward_rounds = downward_rounds
+        self._upward_rounds = upward_rounds
+        self._downward_rounds = downward_rounds
         self.modulus = 1 << value_bits
 
     # -- helpers -------------------------------------------------------------
@@ -58,7 +58,7 @@ class _AggregationParty(PartyLogic):
     def _partial_sum(self, received: ReceivedMap) -> int:
         total = self.value
         for child in self.tree.children[self.party]:
-            rounds = self.upward_rounds[(child, self.party)]
+            rounds = self._upward_rounds[(child, self.party)]
             total = (total + self._decode_word(received, child, rounds)) % self.modulus
         return total
 
@@ -66,7 +66,7 @@ class _AggregationParty(PartyLogic):
         if self.party == self.tree.root:
             return self._partial_sum(received)
         parent = self.tree.parent[self.party]
-        rounds = self.downward_rounds[(parent, self.party)]
+        rounds = self._downward_rounds[(parent, self.party)]
         return self._decode_word(received, parent, rounds)
 
     # -- PartyLogic interface ----------------------------------------------------
@@ -75,10 +75,10 @@ class _AggregationParty(PartyLogic):
         parent = self.tree.parent[self.party]
         if receiver == parent:
             word = self._partial_sum(received)
-            rounds = self.upward_rounds[(self.party, parent)]
+            rounds = self._upward_rounds[(self.party, parent)]
         else:
             word = self._total_sum(received)
-            rounds = self.downward_rounds[(self.party, receiver)]
+            rounds = self._downward_rounds[(self.party, receiver)]
         position = rounds.index(round_index)
         return (word >> position) & 1
 
@@ -102,13 +102,13 @@ class AggregationProtocol(Protocol):
         self.inputs = dict(inputs)
         self.value_bits = value_bits
         self.tree = SpanningTree(graph, root=root)
-        self.upward_rounds: Dict[Tuple[int, int], List[int]] = {}
-        self.downward_rounds: Dict[Tuple[int, int], List[int]] = {}
+        self._upward_rounds: Dict[Tuple[int, int], List[int]] = {}
+        self._downward_rounds: Dict[Tuple[int, int], List[int]] = {}
 
     def build_schedule(self) -> List[List[DirectedEdge]]:
         schedule: List[List[DirectedEdge]] = []
-        self.upward_rounds = {}
-        self.downward_rounds = {}
+        self._upward_rounds = {}
+        self._downward_rounds = {}
 
         # Convergecast: children before parents (deepest levels first).
         for node in self.tree.nodes_bottom_up():
@@ -119,7 +119,7 @@ class AggregationProtocol(Protocol):
             for _ in range(self.value_bits):
                 rounds.append(len(schedule))
                 schedule.append([(node, parent)])
-            self.upward_rounds[(node, parent)] = rounds
+            self._upward_rounds[(node, parent)] = rounds
 
         # Broadcast: parents before children (root first).
         for node in self.tree.nodes_top_down():
@@ -128,7 +128,7 @@ class AggregationProtocol(Protocol):
                 for _ in range(self.value_bits):
                     rounds.append(len(schedule))
                     schedule.append([(node, child)])
-                self.downward_rounds[(node, child)] = rounds
+                self._downward_rounds[(node, child)] = rounds
         return schedule
 
     def create_party(self, party: int) -> PartyLogic:
@@ -138,8 +138,8 @@ class AggregationProtocol(Protocol):
             self.inputs[party],
             self.value_bits,
             self.tree,
-            self.upward_rounds,
-            self.downward_rounds,
+            self._upward_rounds,
+            self._downward_rounds,
         )
 
     def expected_total(self) -> int:

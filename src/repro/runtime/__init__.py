@@ -1,0 +1,66 @@
+"""repro.runtime — parallel trial execution, result caching, run persistence.
+
+The runtime is the layer between the experiment harnesses (which decide
+*what* to measure) and the simulator core (which measures it).  It provides:
+
+* :class:`~repro.runtime.backends.ExecutionBackend` with
+  :class:`~repro.runtime.backends.SerialBackend` and
+  :class:`~repro.runtime.backends.ProcessPoolBackend` (bit-identical results,
+  see README.md in this directory);
+* :class:`~repro.runtime.spec.TrialSpec` / :class:`~repro.runtime.spec.TrialKey`
+  — content-addressed trial fingerprints;
+* :class:`~repro.runtime.cache.ResultCache` — skip already-computed trials,
+  optionally persisted to disk;
+* :class:`~repro.runtime.store.RunStore` — a queryable on-disk history of
+  every run;
+* :func:`~repro.runtime.context.use_runtime` — ambient configuration so deep
+  call stacks (CLI → experiment → harness) share one backend/cache/store.
+
+Typical use::
+
+    from repro.runtime import ProcessPoolBackend, ResultCache, use_runtime
+
+    with use_runtime(backend=ProcessPoolBackend(max_workers=4),
+                     cache=ResultCache(".repro-cache")):
+        rows = build_table1()          # trials fan out, repeats are cached
+"""
+
+from repro.runtime.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend, execute_trial
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
+from repro.runtime.context import RuntimeContext, get_runtime, set_default_runtime, use_runtime
+from repro.runtime.executor import execute_trials
+from repro.runtime.spec import (
+    TRIAL_KEY_SCHEMA,
+    TrialKey,
+    TrialSpec,
+    build_trial_specs,
+    canonical_payload,
+    derive_trial_seed,
+    fingerprint_trial,
+)
+from repro.runtime.store import STORE_SCHEMA_VERSION, RunStore, StoredRun
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "execute_trial",
+    "execute_trials",
+    "TrialSpec",
+    "TrialKey",
+    "TRIAL_KEY_SCHEMA",
+    "build_trial_specs",
+    "canonical_payload",
+    "derive_trial_seed",
+    "fingerprint_trial",
+    "ResultCache",
+    "CacheStats",
+    "CACHE_SCHEMA_VERSION",
+    "RunStore",
+    "StoredRun",
+    "STORE_SCHEMA_VERSION",
+    "RuntimeContext",
+    "get_runtime",
+    "set_default_runtime",
+    "use_runtime",
+]

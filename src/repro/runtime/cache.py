@@ -1,0 +1,106 @@
+"""Content-addressed caching of trial results.
+
+A trial's result is a pure function of its :class:`~repro.runtime.spec.TrialKey`
+(see the determinism contract in :mod:`repro.runtime.backends`), so finished
+trials can be skipped on re-run.  :class:`ResultCache` keeps an in-memory map
+and, when given a directory, mirrors every stored result to an append-only
+JSON-lines file so the cache survives across processes:
+
+    <cache_dir>/trials.jsonl     one {"schema", "key", "metrics"} object per line
+
+Entries carry a schema version; lines written by an incompatible version (or
+corrupted, e.g. truncated by a crash mid-append) are skipped on load rather
+than poisoning the cache.  Unstable keys — specs containing lambdas/closures
+that have no canonical fingerprint — always miss and are never stored.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.analysis.metrics import RunMetrics
+from repro.runtime.spec import TrialKey
+
+#: Bump when the on-disk entry format changes incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters, reset per :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """In-memory trial-result cache with an optional JSON-lines disk mirror."""
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None) -> None:
+        self._memory: Dict[str, RunMetrics] = {}
+        self.stats = CacheStats()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._path: Optional[Path] = None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._path = self.cache_dir / "trials.jsonl"
+            self._load()
+
+    def _load(self) -> None:
+        if self._path is None or not self._path.exists():
+            return
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    if record.get("schema") != CACHE_SCHEMA_VERSION:
+                        continue
+                    self._memory[record["key"]] = RunMetrics.from_payload(record["metrics"])
+                except (ValueError, KeyError, TypeError):
+                    continue  # skip corrupt / truncated lines
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def get(self, key: TrialKey) -> Optional[RunMetrics]:
+        """The cached result for ``key``, or None (unstable keys always miss)."""
+        if not key.stable:
+            self.stats.misses += 1
+            return None
+        hit = self._memory.get(key.digest)
+        if hit is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return hit
+
+    def put(self, key: TrialKey, metrics: RunMetrics) -> None:
+        """Store a freshly computed result (no-op for unstable keys)."""
+        if not key.stable:
+            return
+        self._memory[key.digest] = metrics
+        self.stats.stores += 1
+        if self._path is not None:
+            record = {
+                "schema": CACHE_SCHEMA_VERSION,
+                "key": key.digest,
+                "metrics": metrics.to_payload(),
+            }
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def clear(self) -> None:
+        """Drop the in-memory map and the disk mirror (if any)."""
+        self._memory.clear()
+        if self._path is not None and self._path.exists():
+            self._path.unlink()

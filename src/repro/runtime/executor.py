@@ -1,0 +1,57 @@
+"""The trial orchestrator: fingerprint → cache lookup → backend → cache fill.
+
+:func:`execute_trials` is the single entry point the experiment harness uses.
+It resolves the backend/cache from the ambient :mod:`~repro.runtime.context`
+when not given explicitly, serves every already-known trial from the cache,
+runs only the remainder through the backend (in one batch, so a process pool
+sees all the parallelism at once), and returns the metrics in spec order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.metrics import RunMetrics
+from repro.runtime.backends import ExecutionBackend
+from repro.runtime.cache import ResultCache
+from repro.runtime.context import UNSET as _UNSET
+from repro.runtime.context import get_runtime
+from repro.runtime.spec import TrialSpec, fingerprint_trial
+
+
+def execute_trials(
+    specs: Sequence[TrialSpec],
+    backend: Optional[ExecutionBackend] = None,
+    cache=_UNSET,
+) -> List[RunMetrics]:
+    """Execute trial specs, returning metrics in the same order.
+
+    ``backend``/``cache`` default to the active runtime context; pass
+    ``cache=None`` explicitly to bypass caching for this call only.
+    """
+    specs = list(specs)
+    context = get_runtime()
+    backend = backend if backend is not None else context.backend
+    cache: Optional[ResultCache] = context.cache if cache is _UNSET else cache
+
+    results: List[Optional[RunMetrics]] = [None] * len(specs)
+    pending: List[tuple] = []
+    for index, spec in enumerate(specs):
+        if cache is None:
+            pending.append((index, spec, None))
+            continue
+        key = fingerprint_trial(spec)
+        hit = cache.get(key)
+        if hit is not None:
+            results[index] = hit
+        else:
+            pending.append((index, spec, key))
+
+    if pending:
+        computed = backend.run([spec for _, spec, _ in pending])
+        for (index, _, key), metrics in zip(pending, computed):
+            results[index] = metrics
+            if cache is not None and key is not None:
+                cache.put(key, metrics)
+
+    return results  # type: ignore[return-value]  # every slot is filled above

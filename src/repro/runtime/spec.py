@@ -1,0 +1,223 @@
+"""Canonical trial specifications and content-addressed fingerprints.
+
+A *trial* is the atomic unit of experimental work: one seeded simulation of
+one (workload, scheme, adversary factory) cell.  :class:`TrialSpec` packages
+the four ingredients; :func:`fingerprint_trial` derives a :class:`TrialKey`
+— a stable content hash of the cell — so that results can be cached and
+deduplicated across runs and across processes.
+
+The fingerprint is computed from a *canonical payload*: a JSON-able structure
+built recursively from the spec with deterministic ordering everywhere a
+Python container could introduce nondeterminism (dict/set iteration order,
+``PYTHONHASHSEED``).  Callables are described by their import path; lambdas
+and closures have no stable import path, so any spec that contains one is
+marked ``stable=False`` and simply bypasses the cache instead of poisoning it.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import inspect
+import json
+import random
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable, Dict, List, Mapping, Tuple
+
+from repro.adversary.base import Adversary
+from repro.core.parameters import SchemeParameters
+
+AdversaryFactory = Callable[[int], Adversary]
+
+#: Bump when the canonical-payload rules change incompatibly, so stale
+#: on-disk cache entries are never matched against new fingerprints.
+TRIAL_KEY_SCHEMA = 1
+
+#: Maximum recursion depth of the canonicalisation; deeper structures are
+#: summarised by type name and mark the key unstable.
+_MAX_DEPTH = 16
+
+
+def derive_trial_seed(base_seed: int, trial: int) -> int:
+    """The per-trial seed derivation used by the experiment harness.
+
+    Kept as a single shared function so that serial and parallel backends —
+    and any code that needs to predict the seed of trial ``i`` — agree by
+    construction.
+    """
+    return base_seed + 1000 * trial + 17
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One seeded simulation of a (workload, scheme, adversary) cell.
+
+    ``workload`` is any object with ``name`` and ``protocol`` attributes
+    (duck-typed to avoid importing :mod:`repro.experiments` from here).
+    """
+
+    workload: Any
+    scheme: SchemeParameters
+    adversary_factory: AdversaryFactory
+    seed: int
+
+
+@dataclass(frozen=True)
+class TrialKey:
+    """Content-addressed identity of a trial.
+
+    ``stable`` is False when the spec contains something without a canonical
+    description (a lambda, a closure, an exotic object); unstable keys are
+    still unique within a process but must not be used for cross-run caching.
+    """
+
+    digest: str
+    stable: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = "" if self.stable else " (unstable)"
+        return f"{self.digest}{suffix}"
+
+
+class _Canonicalizer:
+    """Recursively convert an object into a deterministic JSON-able payload."""
+
+    def __init__(self) -> None:
+        self.stable = True
+
+    def convert(self, obj: Any, depth: int = 0) -> Any:
+        if depth > _MAX_DEPTH:
+            self.stable = False
+            return {"__truncated__": type(obj).__qualname__}
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        if isinstance(obj, bytes):
+            return {"__bytes__": obj.hex()}
+        custom = getattr(obj, "fingerprint_payload", None)
+        if callable(custom) and not isinstance(obj, type):
+            # Explicit opt-out of the generic rules: an object that knows its
+            # own identity state returns it here (overrides every branch below).
+            return {
+                "__fingerprint__": _qualified_name(type(obj)),
+                "payload": self.convert(custom(), depth + 1),
+            }
+        if isinstance(obj, random.Random):
+            # The generator state is a deterministic function of how the
+            # object was seeded and used so far.
+            version, internal, gauss = obj.getstate()
+            return {"__random__": [version, list(internal), gauss]}
+        if isinstance(obj, Mapping):
+            items = [
+                [self.convert(key, depth + 1), self.convert(value, depth + 1)]
+                for key, value in obj.items()
+            ]
+            items.sort(key=lambda pair: _sort_token(pair[0]))
+            return {"__map__": items}
+        if isinstance(obj, (set, frozenset)):
+            members = [self.convert(member, depth + 1) for member in obj]
+            members.sort(key=_sort_token)
+            return {"__set__": members}
+        if isinstance(obj, (list, tuple)):
+            return [self.convert(member, depth + 1) for member in obj]
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return {
+                "__dataclass__": _qualified_name(type(obj)),
+                "fields": {
+                    spec.name: self.convert(getattr(obj, spec.name), depth + 1)
+                    for spec in fields(obj)
+                },
+            }
+        if isinstance(obj, functools.partial):
+            return {
+                "__partial__": self.convert(obj.func, depth + 1),
+                "args": [self.convert(arg, depth + 1) for arg in obj.args],
+                "keywords": self.convert(dict(obj.keywords), depth + 1),
+            }
+        if inspect.ismethod(obj):
+            return {
+                "__method__": obj.__func__.__qualname__,
+                "self": self.convert(obj.__self__, depth + 1),
+            }
+        if inspect.isfunction(obj) or inspect.isbuiltin(obj):
+            name = _qualified_name(obj)
+            if "<lambda>" in name or "<locals>" in name:
+                # No import path: unique in this process, meaningless in the
+                # next one.
+                self.stable = False
+                return {"__callable__": name, "unstable": True}
+            return {"__callable__": name}
+        if isinstance(obj, type):
+            return {"__class__": _qualified_name(obj)}
+        state = getattr(obj, "__dict__", None)
+        if state is not None:
+            # Underscored attributes are lazily-computed caches (for instance a
+            # protocol's ``_schedule``): derived from the public state, so
+            # including them would make the fingerprint depend on whether the
+            # object has been *used*, not just on what it *is*.
+            public = {key: value for key, value in state.items() if not key.startswith("_")}
+            return {
+                "__object__": _qualified_name(type(obj)),
+                "state": self.convert(public, depth + 1),
+            }
+        self.stable = False
+        return {"__opaque__": _qualified_name(type(obj))}
+
+
+def _qualified_name(obj: Any) -> str:
+    module = getattr(obj, "__module__", "") or ""
+    qualname = getattr(obj, "__qualname__", None) or getattr(obj, "__name__", repr(obj))
+    return f"{module}.{qualname}" if module else str(qualname)
+
+
+def _sort_token(payload: Any) -> str:
+    """A total order over canonical payloads (JSON text compares reliably)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def canonical_payload(obj: Any) -> Tuple[Any, bool]:
+    """Canonicalise ``obj``; returns ``(payload, stable)``."""
+    canonicalizer = _Canonicalizer()
+    payload = canonicalizer.convert(obj)
+    return payload, canonicalizer.stable
+
+
+def _package_version() -> str:
+    # Imported lazily: repro/__init__ imports the runtime, so a module-level
+    # import here would be circular.
+    from repro import __version__
+
+    return __version__
+
+
+def fingerprint_trial(spec: TrialSpec) -> TrialKey:
+    """Content-address a trial: equal fingerprints ⇒ interchangeable results.
+
+    The package version is part of the payload, so a persistent cache is
+    invalidated wholesale whenever the simulator's code (and hence possibly
+    its behaviour) changes — stale results are never served across upgrades.
+    """
+    canonicalizer = _Canonicalizer()
+    payload = {
+        "schema": TRIAL_KEY_SCHEMA,
+        "version": _package_version(),
+        "workload": canonicalizer.convert(spec.workload),
+        "scheme": canonicalizer.convert(spec.scheme),
+        "adversary_factory": canonicalizer.convert(spec.adversary_factory),
+        "seed": spec.seed,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return TrialKey(digest=digest, stable=canonicalizer.stable)
+
+
+def build_trial_specs(
+    workload: Any,
+    scheme: SchemeParameters,
+    adversary_factory: AdversaryFactory,
+    seeds: List[int],
+) -> List[TrialSpec]:
+    """Expand one experimental cell into its per-seed trial specs."""
+    return [
+        TrialSpec(workload=workload, scheme=scheme, adversary_factory=adversary_factory, seed=seed)
+        for seed in seeds
+    ]

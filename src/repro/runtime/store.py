@@ -1,0 +1,198 @@
+"""A persistent store of experiment runs.
+
+Where the :mod:`~repro.runtime.cache` remembers *trials* (so work can be
+skipped), the :class:`RunStore` remembers *runs* (so results can be listed,
+audited and compared later).  Every record is one JSON document under the
+store root:
+
+    <root>/run-000001.json
+    <root>/run-000002.json
+    ...
+
+Two kinds of records exist:
+
+* ``trial_set`` — the per-trial :class:`~repro.analysis.metrics.RunMetrics`
+  plus the :class:`~repro.analysis.metrics.AggregateMetrics` of one
+  experimental cell (written by ``run_trials`` whenever a store is active);
+* ``report`` — a full :class:`~repro.experiments.reporting.ExperimentReport`
+  (written by the CLI commands).
+
+Every document carries ``schema`` so future layouts can evolve; loading
+raises on an unknown schema instead of silently misreading it.  Run ids are
+monotonically increasing per store directory (single-writer by design — the
+store backs a CLI, not a database).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.metrics import AggregateMetrics, RunMetrics
+
+#: Bump when the run-document layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+_RUN_PREFIX = "run-"
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """A ``trial_set`` record loaded back from disk."""
+
+    run_id: str
+    label: str
+    experiment: str
+    created_at: str
+    parameters: Dict[str, object]
+    runs: List[RunMetrics]
+    aggregate: AggregateMetrics
+
+
+class RunStore:
+    """Append-only store of experiment runs under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        # The directory is created on first write, not here: read-only
+        # commands (``repro runs list``) must not litter the working tree.
+        self.root = Path(root)
+
+    # -- writing -----------------------------------------------------------
+
+    def _next_run_id(self) -> str:
+        highest = 0
+        for path in self.root.glob(f"{_RUN_PREFIX}*.json"):
+            try:
+                highest = max(highest, int(path.stem[len(_RUN_PREFIX) :]))
+            except ValueError:
+                continue
+        return f"{_RUN_PREFIX}{highest + 1:06d}"
+
+    def _write(self, payload: Dict[str, object]) -> str:
+        self.root.mkdir(parents=True, exist_ok=True)
+        run_id = self._next_run_id()
+        payload = dict(payload, run_id=run_id, schema=STORE_SCHEMA_VERSION)
+        payload.setdefault("created_at", datetime.now(timezone.utc).isoformat())
+        (self.root / f"{run_id}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str), encoding="utf-8"
+        )
+        return run_id
+
+    def record_trial_set(
+        self,
+        label: str,
+        runs: List[RunMetrics],
+        aggregate: AggregateMetrics,
+        experiment: str = "trials",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Persist one experimental cell; returns the new run id."""
+        return self._write(
+            {
+                "kind": "trial_set",
+                "label": label,
+                "experiment": experiment,
+                "parameters": parameters or {},
+                "runs": [metrics.to_payload() for metrics in runs],
+                "aggregate": aggregate.to_payload(),
+            }
+        )
+
+    def record_report(self, report) -> str:
+        """Persist an :class:`~repro.experiments.reporting.ExperimentReport`
+        (duck-typed: anything with ``experiment``/``rows``/``parameters``/
+        ``generated_at``); returns the new run id."""
+        return self._write(
+            {
+                "kind": "report",
+                "label": report.experiment,
+                "experiment": report.experiment,
+                "parameters": dict(report.parameters),
+                "rows": list(report.rows),
+                "generated_at": report.generated_at,
+            }
+        )
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self, run_id: str) -> Dict[str, object]:
+        """The raw JSON document of one run; raises ``KeyError`` if absent."""
+        path = self.root / f"{run_id}.json"
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in {self.root}")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        schema = payload.get("schema")
+        if schema != STORE_SCHEMA_VERSION:
+            raise ValueError(
+                f"run {run_id!r} has schema {schema!r}; this build reads schema {STORE_SCHEMA_VERSION}"
+            )
+        return payload
+
+    def load_trial_set(self, run_id: str) -> StoredRun:
+        """Load a ``trial_set`` record back into metrics objects."""
+        return self.trial_set_from_payload(self.load(run_id))
+
+    @staticmethod
+    def trial_set_from_payload(payload: Dict[str, object]) -> StoredRun:
+        """Rehydrate an already-loaded ``trial_set`` document."""
+        run_id = payload.get("run_id", "?")
+        if payload.get("kind") != "trial_set":
+            raise ValueError(f"run {run_id!r} is a {payload.get('kind')!r}, not a trial_set")
+        return StoredRun(
+            run_id=payload["run_id"],
+            label=payload["label"],
+            experiment=payload["experiment"],
+            created_at=payload["created_at"],
+            parameters=dict(payload.get("parameters", {})),
+            runs=[RunMetrics.from_payload(data) for data in payload["runs"]],
+            aggregate=AggregateMetrics.from_payload(payload["aggregate"]),
+        )
+
+    def list_runs(self) -> List[Dict[str, object]]:
+        """One summary row per stored run, ordered by run id."""
+        summaries: List[Dict[str, object]] = []
+        for path in sorted(self.root.glob(f"{_RUN_PREFIX}*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                continue
+            if payload.get("schema") != STORE_SCHEMA_VERSION:
+                continue
+            summary: Dict[str, object] = {
+                "run_id": payload.get("run_id", path.stem),
+                "kind": payload.get("kind", "?"),
+                "experiment": payload.get("experiment", ""),
+                "label": payload.get("label", ""),
+                "created_at": payload.get("created_at", ""),
+            }
+            if payload.get("kind") == "trial_set":
+                aggregate = payload.get("aggregate", {})
+                trials = aggregate.get("trials", 0)
+                summary["trials"] = trials
+                summary["success_rate"] = (
+                    aggregate.get("successes", 0) / trials if trials else ""
+                )
+            else:
+                summary["trials"] = len(payload.get("rows", []))
+                summary["success_rate"] = ""
+            summaries.append(summary)
+        return summaries
+
+    def query(
+        self,
+        kind: Optional[str] = None,
+        experiment: Optional[str] = None,
+        label_contains: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Filter :meth:`list_runs` by kind / experiment / label substring."""
+        rows = self.list_runs()
+        if kind is not None:
+            rows = [row for row in rows if row["kind"] == kind]
+        if experiment is not None:
+            rows = [row for row in rows if row["experiment"] == experiment]
+        if label_contains is not None:
+            rows = [row for row in rows if label_contains in str(row["label"])]
+        return rows

@@ -1,0 +1,355 @@
+"""Tests for the runtime subsystem: backends, trial keys, cache, run store.
+
+The three guarantees the runtime makes (and the acceptance criteria of the
+subsystem) are pinned here:
+
+1. ``ProcessPoolBackend`` is bit-identical to ``SerialBackend`` for the same
+   base seed (parallelism changes where a trial runs, never what it computes);
+2. with caching enabled, a repeated ``run_trials`` call performs **zero** new
+   simulations (asserted via the backend's execution counter and the cache's
+   hit counter);
+3. a ``RunStore`` round-trips every ``RunMetrics``/``AggregateMetrics``
+   losslessly (persist → list → load equals the original).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.metrics import AggregateMetrics, RunMetrics
+from repro.core.parameters import algorithm_a, crs_oblivious_scheme
+from repro.experiments.factories import (
+    LinkTargetedFactory,
+    NoiselessFactory,
+    RandomNoiseFactory,
+)
+from repro.experiments.harness import run_trials
+from repro.experiments.noise_sweep import noise_sweep
+from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload, pairwise_workload
+from repro.runtime import (
+    ProcessPoolBackend,
+    ResultCache,
+    RunStore,
+    SerialBackend,
+    TrialSpec,
+    execute_trials,
+    fingerprint_trial,
+    get_runtime,
+    use_runtime,
+)
+from repro.runtime.spec import build_trial_specs, derive_trial_seed
+
+
+class TestSerialParallelDeterminism:
+    def test_process_pool_matches_serial_bit_for_bit(self):
+        """The headline guarantee: same base seed ⇒ same metrics, any backend."""
+        workload = gossip_workload(topology="line", num_nodes=5, phases=6)
+        scheme = algorithm_a()
+        factory = RandomNoiseFactory(fraction=0.004)
+
+        serial = run_trials(
+            workload, scheme, adversary_factory=factory, trials=4, base_seed=3,
+            backend=SerialBackend(), cache=None,
+        )
+        parallel = run_trials(
+            workload, scheme, adversary_factory=factory, trials=4, base_seed=3,
+            backend=ProcessPoolBackend(max_workers=2), cache=None,
+        )
+        assert serial.runs == parallel.runs          # RunMetrics are frozen dataclasses
+        assert serial.aggregate == parallel.aggregate
+
+    def test_every_workload_survives_pickling_through_the_pool(self):
+        """Every built-in workload must execute under a process pool."""
+        backend = ProcessPoolBackend(max_workers=2, chunk_size=1)
+        scheme = crs_oblivious_scheme()
+        for name in sorted(WORKLOAD_BUILDERS):
+            workload = WORKLOAD_BUILDERS[name]()
+            trial_set = run_trials(
+                workload, scheme, adversary_factory=NoiselessFactory(),
+                trials=2, backend=backend, cache=None,
+            )
+            assert trial_set.aggregate.success_rate == 1.0, name
+
+    def test_chunking_preserves_order(self):
+        workload = pairwise_workload()
+        scheme = crs_oblivious_scheme()
+        seeds = [derive_trial_seed(0, trial) for trial in range(5)]
+        specs = build_trial_specs(workload, scheme, NoiselessFactory(), seeds)
+        serial = SerialBackend().run(specs)
+        pooled = ProcessPoolBackend(max_workers=2, chunk_size=2).run(specs)
+        assert serial == pooled
+
+    def test_backend_argument_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(max_workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(chunk_size=0)
+
+
+class TestTrialKeys:
+    def test_identical_specs_fingerprint_identically(self):
+        scheme = algorithm_a()
+        factory = RandomNoiseFactory(fraction=0.004)
+        key_a = fingerprint_trial(TrialSpec(gossip_workload(), scheme, factory, 17))
+        key_b = fingerprint_trial(TrialSpec(gossip_workload(), scheme, factory, 17))
+        assert key_a.stable and key_b.stable
+        assert key_a.digest == key_b.digest
+
+    def test_fingerprint_is_invariant_under_use(self):
+        """Using a workload must not change its fingerprint (protocol lazy
+        caches — ``_schedule``, round-layout tables — are excluded from the
+        canonical payload)."""
+        scheme = algorithm_a()
+        factory = RandomNoiseFactory(fraction=0.004)
+        for name in sorted(WORKLOAD_BUILDERS):
+            used = WORKLOAD_BUILDERS[name]()
+            used.protocol.schedule()        # populate every lazy cache
+            used.protocol.run_noiseless()
+            fresh = WORKLOAD_BUILDERS[name]()
+            key_used = fingerprint_trial(TrialSpec(used, scheme, factory, 17))
+            key_fresh = fingerprint_trial(TrialSpec(fresh, scheme, factory, 17))
+            assert key_used.digest == key_fresh.digest, name
+        # ... and a full noisy simulation does not change it either.
+        used = gossip_workload()
+        run_trials(used, scheme, adversary_factory=factory, trials=1, cache=None)
+        key_used = fingerprint_trial(TrialSpec(used, scheme, factory, 17))
+        key_fresh = fingerprint_trial(TrialSpec(gossip_workload(), scheme, factory, 17))
+        assert key_used.digest == key_fresh.digest
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda w, s, f: (w, s, f, 18),                                   # seed
+            lambda w, s, f: (w, s.with_overrides(chunk_multiplier=7), f, 17),  # scheme
+            lambda w, s, f: (w, s, RandomNoiseFactory(fraction=0.005), 17),  # adversary
+            lambda w, s, f: (gossip_workload(phases=9), s, f, 17),           # workload
+        ],
+    )
+    def test_any_ingredient_change_changes_the_digest(self, mutate):
+        workload, scheme, factory = gossip_workload(), algorithm_a(), RandomNoiseFactory(fraction=0.004)
+        base = fingerprint_trial(TrialSpec(workload, scheme, factory, 17))
+        changed = fingerprint_trial(TrialSpec(*mutate(workload, scheme, factory)))
+        assert base.digest != changed.digest
+
+    def test_lambda_factories_are_unstable(self):
+        key = fingerprint_trial(
+            TrialSpec(gossip_workload(), algorithm_a(), lambda seed: None, 17)
+        )
+        assert not key.stable
+
+
+class TestResultCache:
+    def test_second_run_trials_call_runs_zero_new_simulations(self):
+        """Acceptance criterion: a repeated call is served entirely from cache."""
+        workload = gossip_workload(topology="line", num_nodes=4, phases=6)
+        scheme = algorithm_a()
+        factory = RandomNoiseFactory(fraction=0.004)
+        backend = SerialBackend()
+        cache = ResultCache()
+
+        first = run_trials(workload, scheme, adversary_factory=factory, trials=4,
+                           backend=backend, cache=cache)
+        assert backend.trials_executed == 4
+        assert cache.stats.stores == 4
+
+        second = run_trials(workload, scheme, adversary_factory=factory, trials=4,
+                            backend=backend, cache=cache)
+        assert backend.trials_executed == 4      # zero new simulations
+        assert cache.stats.hits == 4
+        assert first.runs == second.runs
+        assert first.aggregate == second.aggregate
+
+    def test_disk_cache_survives_across_instances(self, tmp_path):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=6)
+        scheme = algorithm_a()
+        factory = RandomNoiseFactory(fraction=0.004)
+
+        warm_backend = SerialBackend()
+        first = run_trials(workload, scheme, adversary_factory=factory, trials=3,
+                           backend=warm_backend, cache=ResultCache(tmp_path))
+
+        # A fresh cache instance (≈ a new process) reloads from disk.
+        cold_cache = ResultCache(tmp_path)
+        assert len(cold_cache) == 3
+        cold_backend = SerialBackend()
+        second = run_trials(gossip_workload(topology="line", num_nodes=4, phases=6),
+                            scheme, adversary_factory=RandomNoiseFactory(fraction=0.004),
+                            trials=3, backend=cold_backend, cache=cold_cache)
+        assert cold_backend.trials_executed == 0
+        assert first.runs == second.runs
+
+    def test_corrupt_cache_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trials.jsonl"
+        path.write_text('not json\n{"schema": 999, "key": "x", "metrics": {}}\n')
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+
+    def test_unstable_keys_bypass_the_cache(self):
+        workload = pairwise_workload()
+        scheme = crs_oblivious_scheme()
+        backend = SerialBackend()
+        cache = ResultCache()
+        factory = lambda seed: NoiselessFactory()(seed)  # noqa: E731 — deliberately unstable
+        specs = build_trial_specs(workload, scheme, factory, [17, 1017])
+        execute_trials(specs, backend=backend, cache=cache)
+        execute_trials(specs, backend=backend, cache=cache)
+        assert backend.trials_executed == 4              # nothing was cached
+        assert cache.stats.stores == 0
+
+    def test_sweep_level_caching_through_the_context(self):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=6)
+        backend = SerialBackend()
+        with use_runtime(backend=backend, cache=ResultCache()):
+            first = noise_sweep(workload, algorithm_a(), multipliers=(0.5, 1.0), trials=2)
+            executed = backend.trials_executed
+            second = noise_sweep(workload, algorithm_a(), multipliers=(0.5, 1.0), trials=2)
+        assert backend.trials_executed == executed
+        assert first == second
+
+
+class TestRunStore:
+    def test_trial_set_round_trip(self, tmp_path):
+        """persist → list → load equals the original, field for field."""
+        workload = gossip_workload(topology="line", num_nodes=4, phases=6)
+        scheme = algorithm_a()
+        store = RunStore(tmp_path)
+        trial_set = run_trials(workload, scheme, adversary_factory=RandomNoiseFactory(0.004),
+                               trials=3, cache=None, store=store)
+
+        summaries = store.list_runs()
+        assert len(summaries) == 1
+        assert summaries[0]["kind"] == "trial_set"
+        assert summaries[0]["trials"] == 3
+
+        stored = store.load_trial_set(summaries[0]["run_id"])
+        assert stored.label == trial_set.label
+        assert stored.runs == trial_set.runs
+        assert stored.aggregate == trial_set.aggregate
+
+    def test_run_ids_are_monotonic(self, tmp_path):
+        store = RunStore(tmp_path)
+        workload = pairwise_workload()
+        ids = [
+            run_trials(workload, crs_oblivious_scheme(), trials=1, cache=None, store=store)
+            and store.list_runs()[-1]["run_id"]
+            for _ in range(3)
+        ]
+        assert ids == sorted(ids) and len(set(ids)) == 3
+
+    def test_unknown_run_id_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            RunStore(tmp_path).load("run-999999")
+
+    def test_unknown_schema_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        (tmp_path / "run-000001.json").write_text(json.dumps({"schema": 999, "run_id": "run-000001"}))
+        with pytest.raises(ValueError):
+            store.load("run-000001")
+
+    def test_query_filters(self, tmp_path):
+        store = RunStore(tmp_path)
+        workload = pairwise_workload()
+        run_trials(workload, crs_oblivious_scheme(), trials=1, cache=None, store=store)
+        assert store.query(kind="trial_set")
+        assert not store.query(kind="report")
+        assert store.query(label_contains="pairwise")
+        assert not store.query(label_contains="nonexistent")
+
+
+class TestMetricsPayloadRoundTrip:
+    def test_run_metrics_round_trip_is_lossless(self):
+        metrics = RunMetrics(
+            scheme="algorithm_a", success=True, protocol_communication=10,
+            simulation_communication=100, corruptions=2, noise_fraction=0.02,
+            iterations_run=5, iterations_budget=9,
+            communication_by_phase={"simulation": 80, "meeting_points": 20},
+            corruptions_by_phase={"simulation": 2}, meeting_point_truncations=1,
+            rewinds_sent=3, hash_mismatches_detected=1, hash_collisions_observed=0,
+            randomness_exchange_failures=0,
+        )
+        assert RunMetrics.from_payload(json.loads(json.dumps(metrics.to_payload()))) == metrics
+
+    def test_aggregate_metrics_round_trip_is_lossless(self):
+        aggregate = AggregateMetrics(
+            scheme="algorithm_b", trials=4, successes=3, mean_overhead=41.5,
+            mean_noise_fraction=0.003, mean_corruptions=1.25,
+        )
+        assert AggregateMetrics.from_payload(json.loads(json.dumps(aggregate.to_payload()))) == aggregate
+
+    def test_unknown_payload_keys_are_ignored(self):
+        payload = AggregateMetrics("x", 1, 1, 1.0, 0.0, 0.0).to_payload()
+        payload["added_in_a_future_version"] = True
+        assert AggregateMetrics.from_payload(payload).scheme == "x"
+
+
+class TestRuntimeContext:
+    def test_default_context_is_serial_and_uncached(self):
+        context = get_runtime()
+        assert context.backend.name == "serial"
+        assert context.cache is None
+        assert context.store is None
+
+    def test_use_runtime_restores_on_exit(self):
+        before = get_runtime()
+        with use_runtime(backend=ProcessPoolBackend(max_workers=2), cache=ResultCache()):
+            inside = get_runtime()
+            assert inside.backend.name == "process-pool"
+            assert inside.cache is not None
+        assert get_runtime() is before
+
+    def test_explicit_arguments_beat_the_context(self):
+        workload = pairwise_workload()
+        explicit = SerialBackend()
+        ambient = SerialBackend()
+        with use_runtime(backend=ambient):
+            run_trials(workload, crs_oblivious_scheme(), trials=1, backend=explicit, cache=None)
+        assert explicit.trials_executed == 1
+        assert ambient.trials_executed == 0
+
+
+class TestRunsCli:
+    def test_experiment_store_and_runs_listing(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = tmp_path / "runs"
+        code = main([
+            "noise-sweep", "--topology", "line", "--nodes", "4", "--phases", "4",
+            "--multipliers", "0.5", "--trials", "1",
+            "--store-dir", str(store_dir), "--seed", "11",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed: 11" in out
+        assert "run persisted as" in out
+
+        assert main(["runs", "list", "--store-dir", str(store_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert "trial_set" in listing and "report" in listing
+
+        run_id = RunStore(store_dir).list_runs()[0]["run_id"]
+        assert main(["runs", "show", run_id, "--store-dir", str(store_dir)]) == 0
+        shown = capsys.readouterr().out
+        assert run_id in shown
+
+    def test_jobs_and_cache_flags_produce_identical_reports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        args = ["noise-sweep", "--topology", "line", "--nodes", "4", "--phases", "4",
+                "--multipliers", "0.5", "4.0", "--trials", "2", "--seed", "3",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_every_experiment_command_prints_the_seed(self, capsys):
+        from repro.cli import main
+
+        assert main(["simulate", "--workload", "pairwise", "--nodes", "4",
+                     "--noise", "0.0", "--seed", "9"]) == 0
+        assert "seed: 9" in capsys.readouterr().out
+        assert main(["ablations", "--which", "chunk_size", "--trials", "1", "--seed", "4"]) == 0
+        assert "seed: 4" in capsys.readouterr().out
