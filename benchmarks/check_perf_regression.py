@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the benchmark run store.
+
+Compares the two most recent benchmark sessions persisted by
+``benchmarks/conftest.py`` (kind ``bench``) and exits non-zero when any
+benchmark's mean wall clock grew by more than the threshold:
+
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+
+Environment:
+
+* ``REPRO_BENCH_THRESHOLD`` — allowed fractional wall-clock increase
+  (default ``0.25`` = +25%);
+* ``REPRO_BENCH_STORE``     — the benchmark run store to read
+  (default ``benchmarks/.bench-runs``, same as the conftest writer).
+
+Exit status: 0 = no regression, 1 = regression or unusable store, 2 = not
+enough history yet (fewer than two persisted sessions — not a failure on a
+fresh checkout, but distinguishable so CI can choose to ignore it).
+
+This is a thin wrapper over ``repro runs diff latest~1 latest --kind bench``;
+run that by hand for ad-hoc comparisons against any pair of sessions.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from conftest import BENCH_STORE_ENV, bench_store_root  # noqa: E402 — the writer's rules
+from repro.cli import main  # noqa: E402
+from repro.runtime import RunStore  # noqa: E402
+
+THRESHOLD_ENV = "REPRO_BENCH_THRESHOLD"
+
+
+def run() -> int:
+    threshold = os.environ.get(THRESHOLD_ENV, "0.25")
+    try:
+        float(threshold)
+    except ValueError:
+        print(f"error: {THRESHOLD_ENV}={threshold!r} is not a number", file=sys.stderr)
+        return 1
+    # Same resolution (including the disabled values) as the conftest writer.
+    root = bench_store_root()
+    if root is None:
+        print(f"benchmark persistence is disabled ({BENCH_STORE_ENV}) — nothing to compare")
+        return 2
+    store_dir = str(root)
+
+    sessions = RunStore(store_dir).query(kind="bench")
+    if len(sessions) < 2:
+        print(
+            f"not enough benchmark history in {store_dir} "
+            f"({len(sessions)} session(s); need 2) — run the benchmarks twice first"
+        )
+        return 2
+
+    return main(
+        [
+            "runs", "diff", "latest~1", "latest",
+            "--kind", "bench",
+            "--store-dir", store_dir,
+            "--wall-clock-tolerance", threshold,
+        ]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

@@ -1,0 +1,99 @@
+"""Infrastructure benchmark: workload-canonicalisation memoization.
+
+Not a paper experiment — a micro-benchmark for the sweep-fingerprint hot
+path.  A sweep grid shares one workload/scheme/factory object across every
+trial; before memoization, ``fingerprint_trial`` re-walked the whole workload
+(graph, protocol, inputs) once *per trial*.  The identity memo in
+``repro.runtime.spec`` walks each unique object once and serves the canonical
+payload from then on.
+
+Shape we assert: on a large grid the memoized path canonicalises each of the
+three shared ingredients exactly once (``payload_memo_stats``), produces the
+same digests as unmemoised fingerprinting, and is measurably faster (≥2× here;
+in practice far more — the assertion is loose so a noisy CI box cannot flake).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+from repro.core.parameters import algorithm_a
+from repro.experiments.factories import RandomNoiseFactory
+from repro.experiments.workloads import gossip_workload
+from repro.runtime.spec import (
+    TRIAL_KEY_SCHEMA,
+    _package_version,
+    build_trial_specs,
+    canonical_payload,
+    clear_payload_memo,
+    derive_trial_seed,
+    fingerprint_trial,
+    payload_memo_stats,
+)
+
+GRID_TRIALS = 300
+
+
+def _grid_specs():
+    workload = gossip_workload(topology="line", num_nodes=6, phases=10)
+    scheme = algorithm_a()
+    factory = RandomNoiseFactory(fraction=0.004)
+    seeds = [derive_trial_seed(0, trial) for trial in range(GRID_TRIALS)]
+    return build_trial_specs(workload, scheme, factory, seeds)
+
+
+def _fingerprint_unmemoized(spec) -> str:
+    """The pre-memoization fingerprint path: canonicalise every ingredient
+    per trial (kept here as the baseline the memo is measured against)."""
+    payload = {
+        "schema": TRIAL_KEY_SCHEMA,
+        "version": _package_version(),
+        "workload": canonical_payload(spec.workload)[0],
+        "scheme": canonical_payload(spec.scheme)[0],
+        "adversary_factory": canonical_payload(spec.adversary_factory)[0],
+        "seed": spec.seed,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def test_fingerprint_memoization_on_a_large_grid(benchmark):
+    # Baseline: per-trial canonicalisation over the whole grid.
+    baseline_specs = _grid_specs()
+    started = time.perf_counter()
+    baseline_digests = [_fingerprint_unmemoized(spec) for spec in baseline_specs]
+    unmemoized_seconds = time.perf_counter() - started
+
+    # Memoized: what execute_trials actually runs.  Fresh specs per round and
+    # a cleared memo, so every round measures a full cold-start grid.
+    def setup():
+        clear_payload_memo()
+        return (_grid_specs(),), {}
+
+    def fingerprint_grid(specs):
+        return [fingerprint_trial(spec) for spec in specs]
+
+    keys = benchmark.pedantic(fingerprint_grid, setup=setup, rounds=3, iterations=1)
+    memoized_seconds = benchmark.stats.stats.mean
+
+    benchmark.extra_info["grid_trials"] = GRID_TRIALS
+    benchmark.extra_info["unmemoized_seconds"] = unmemoized_seconds
+    benchmark.extra_info["memoized_seconds"] = memoized_seconds
+    benchmark.extra_info["speedup"] = unmemoized_seconds / memoized_seconds
+
+    # Same digests, bit for bit — memoization must not change the key space.
+    assert [key.digest for key in keys] == baseline_digests
+    assert all(key.stable for key in keys)
+
+    # Each unique ingredient (workload, scheme, factory) was walked exactly
+    # once; every other trial hit the memo.
+    clear_payload_memo()
+    stats_specs = _grid_specs()
+    fingerprint_grid(stats_specs)
+    stats = payload_memo_stats()
+    assert stats["misses"] == 3
+    assert stats["hits"] == 3 * (GRID_TRIALS - 1)
+
+    assert unmemoized_seconds / memoized_seconds >= 2.0

@@ -15,8 +15,9 @@ The package provides:
 * :mod:`repro.baselines`, :mod:`repro.experiments`, :mod:`repro.analysis` —
   baselines, the Table-1 harness and theorem-validation sweeps;
 * :mod:`repro.runtime` — the trial execution engine: serial / process-pool
-  backends (bit-identical results), content-addressed result caching and a
-  persistent run store.
+  backends (bit-identical results), content-addressed result caching, a
+  persistent run store and cross-run analytics (``diff_runs`` /
+  ``merge_runs`` / ``gc_runs``, surfaced as ``repro runs diff|merge|gc``).
 
 Quick start — one protected simulation::
 
@@ -60,14 +61,18 @@ from repro.experiments.harness import TrialSet, run_trials, sweep
 from repro.runtime import (
     ExecutionBackend,
     ProcessPoolBackend,
+    RegressionThresholds,
     ResultCache,
     RunStore,
     SerialBackend,
     TrialKey,
     TrialSpec,
+    diff_runs,
     execute_trials,
     fingerprint_trial,
+    gc_runs,
     get_runtime,
+    merge_runs,
     set_default_runtime,
     use_runtime,
 )
@@ -101,5 +106,10 @@ __all__ = [
     "get_runtime",
     "set_default_runtime",
     "use_runtime",
+    # run analytics
+    "diff_runs",
+    "merge_runs",
+    "gc_runs",
+    "RegressionThresholds",
     "__version__",
 ]

@@ -8,7 +8,14 @@ writing any Python:
 * ``rate``          — the constant-rate check (overhead vs CC(Π)),
 * ``ablations``     — flag-passing / rewind / hash-length / chunk-size ablations,
 * ``simulate``      — one simulation of a chosen workload/scheme/noise level,
-* ``runs``          — list / show experiment runs persisted by ``--store-dir``.
+* ``runs``          — run-store analytics: ``list`` / ``show`` persisted runs,
+  ``diff`` two runs cell by cell (non-zero exit on regression, so CI can gate
+  on it), ``merge`` trial sets of the same cell, ``gc`` old runs.
+
+``runs diff|show|merge`` accept either literal run ids (``run-000042``) or the
+symbolic references ``latest`` / ``latest~N`` — the N-th newest run, after the
+filters the command offers (``runs diff`` takes ``--kind``/``--experiment``;
+``runs merge`` resolves against trial_set records only).
 
 Every command prints a fixed-width table and can also write a JSON or Markdown
 report via ``--output``.  Experiment commands share the runtime flags:
@@ -48,9 +55,13 @@ from repro.experiments.theorem_validation import rate_vs_protocol_size
 from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
 from repro.runtime import (
     ProcessPoolBackend,
+    RegressionThresholds,
     ResultCache,
     RunStore,
     SerialBackend,
+    diff_runs,
+    gc_runs,
+    merge_runs,
     use_runtime,
 )
 
@@ -240,6 +251,49 @@ def _cmd_simulate(args: argparse.Namespace) -> None:
 
 _RUNS_COLUMNS = ["run_id", "kind", "experiment", "label", "trials", "success_rate", "created_at"]
 
+#: Environment defaults for the ``runs diff`` thresholds, so CI pipelines can
+#: tune the gate without editing the command line.
+DIFF_WALL_CLOCK_ENV = "REPRO_DIFF_WALL_CLOCK_TOLERANCE"
+DIFF_SUCCESS_DROP_ENV = "REPRO_DIFF_SUCCESS_TOLERANCE"
+
+
+def _fail(message: str) -> "SystemExit":
+    """A friendly fatal error: one line on stderr, exit status 1."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(1)
+
+
+def _env_float(name: str, fallback: float) -> float:
+    """An environment-variable float default, resolved at command time so a
+    malformed value fails the one command that uses it — friendly, not a
+    parser-construction traceback for every ``repro`` invocation."""
+    value = os.environ.get(name)
+    if value is None:
+        return fallback
+    try:
+        return float(value)
+    except ValueError:
+        raise _fail(f"{name}={value!r} is not a number")
+
+
+def _load_run(
+    store: RunStore,
+    ref: str,
+    kind: Optional[str] = None,
+    experiment: Optional[str] = None,
+) -> Dict[str, object]:
+    """Resolve + load one run, translating every failure mode (missing id,
+    corrupt JSON, unknown schema, unreadable file) into a friendly exit."""
+    try:
+        run_id = store.resolve(ref, kind=kind, experiment=experiment)
+        return store.load(run_id)
+    except KeyError as exc:
+        raise _fail(str(exc.args[0]))
+    except ValueError as exc:
+        raise _fail(f"run {ref!r} in {store.root} is unreadable: {exc}")
+    except OSError as exc:
+        raise _fail(f"cannot read run {ref!r} from {store.root}: {exc}")
+
 
 def _cmd_runs_list(args: argparse.Namespace) -> None:
     store = RunStore(args.store_dir)
@@ -252,10 +306,7 @@ def _cmd_runs_list(args: argparse.Namespace) -> None:
 
 def _cmd_runs_show(args: argparse.Namespace) -> None:
     store = RunStore(args.store_dir)
-    try:
-        payload = store.load(args.run_id)
-    except KeyError as exc:
-        raise SystemExit(exc.args[0])  # str(KeyError) would add quotes
+    payload = _load_run(store, args.run_id)
     if payload.get("kind") == "trial_set":
         stored = RunStore.trial_set_from_payload(payload)
         print(f"run {stored.run_id}: {stored.label} (recorded {stored.created_at})")
@@ -277,8 +328,94 @@ def _cmd_runs_show(args: argparse.Namespace) -> None:
                 if key not in columns:
                     columns.append(key)
         print(format_table(rows, columns) if rows else "(no rows)")
+    elif payload.get("kind") == "bench":
+        rows = list(payload.get("benchmarks", []))
+        print(f"run {payload['run_id']}: benchmark session (recorded {payload.get('created_at')})")
+        print()
+        bench_columns = ["name", "mean_seconds", "min_seconds", "max_seconds", "rounds"]
+        print(format_table(rows, bench_columns) if rows else "(no benchmarks)")
     else:
         print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    store = RunStore(args.store_dir)
+    baseline = _load_run(store, args.baseline, kind=args.kind, experiment=args.experiment)
+    candidate = _load_run(store, args.candidate, kind=args.kind, experiment=args.experiment)
+    wall_clock_tolerance = (
+        args.wall_clock_tolerance
+        if args.wall_clock_tolerance is not None
+        else _env_float(DIFF_WALL_CLOCK_ENV, 0.25)
+    )
+    success_tolerance = (
+        args.success_tolerance
+        if args.success_tolerance is not None
+        else _env_float(DIFF_SUCCESS_DROP_ENV, 0.0)
+    )
+    try:
+        thresholds = RegressionThresholds(
+            max_wall_clock_increase=wall_clock_tolerance,
+            max_success_rate_drop=success_tolerance,
+            min_wall_clock_seconds=args.min_wall_clock,
+        )
+        diff = diff_runs(baseline, candidate, thresholds=thresholds)
+    except ValueError as exc:
+        raise _fail(str(exc))
+    print(f"diff {diff.baseline_id} (baseline) → {diff.candidate_id} (candidate), kind {diff.kind}")
+    print(
+        f"thresholds: wall clock +{thresholds.max_wall_clock_increase:.0%}, "
+        f"success rate -{thresholds.max_success_rate_drop:.3f}"
+    )
+    print()
+    if not diff.rows:
+        print("(no cells to compare)")
+        return 0
+    print(format_table(diff.as_rows(), ["cell", "metric", "baseline", "candidate", "delta", "ratio", "status"]))
+    print()
+    if diff.has_regression:
+        print(f"REGRESSION: {len(diff.regressions)} metric(s) exceeded the threshold")
+        return 1
+    print("no regressions")
+    return 0
+
+
+def _cmd_runs_merge(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    refs: List[str] = []
+    for ref in args.run_ids:
+        try:
+            refs.append(store.resolve(ref, kind="trial_set"))
+        except KeyError as exc:
+            raise _fail(str(exc.args[0]))
+    try:
+        result = merge_runs(store, refs, label=args.label)
+    except KeyError as exc:
+        raise _fail(str(exc.args[0]))
+    except ValueError as exc:
+        raise _fail(str(exc))
+    for run_id in result.created:
+        print(f"merged run persisted as {run_id} in {store.root}")
+    if result.skipped:
+        print(f"skipped (no partner cell): {', '.join(result.skipped)}")
+    if not result.created:
+        raise _fail("nothing merged: no two input runs share an (experiment, label) cell")
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    try:
+        result = gc_runs(
+            store,
+            max_age_days=args.max_age_days,
+            keep_count=args.keep,
+            dry_run=args.dry_run,
+        )
+    except ValueError as exc:
+        raise _fail(str(exc))
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {len(result.deleted)} run(s), kept {len(result.kept)} in {store.root}")
+    for run_id in result.deleted:
+        print(f"  {verb}: {run_id}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -346,9 +483,58 @@ def build_parser() -> argparse.ArgumentParser:
     runs_list.set_defaults(func=_cmd_runs_list)
 
     runs_show = runs_sub.add_parser("show", help="show one persisted run")
-    runs_show.add_argument("run_id")
+    runs_show.add_argument("run_id", help="run id, or latest / latest~N")
     runs_show.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     runs_show.set_defaults(func=_cmd_runs_show)
+
+    runs_diff = runs_sub.add_parser(
+        "diff", help="compare two runs cell by cell; exits 1 on regression"
+    )
+    runs_diff.add_argument("baseline", help="baseline run id, or latest / latest~N")
+    runs_diff.add_argument("candidate", help="candidate run id, or latest / latest~N")
+    runs_diff.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_diff.add_argument(
+        "--kind", choices=["trial_set", "bench"], default=None,
+        help="restrict latest/latest~N resolution to this record kind",
+    )
+    runs_diff.add_argument(
+        "--experiment", default=None,
+        help="restrict latest/latest~N resolution to this experiment",
+    )
+    runs_diff.add_argument(
+        "--wall-clock-tolerance", type=float, default=None,
+        help=f"allowed fractional wall-clock increase (default 0.25, env {DIFF_WALL_CLOCK_ENV})",
+    )
+    runs_diff.add_argument(
+        "--success-tolerance", type=float, default=None,
+        help=f"allowed absolute success-rate drop (default 0.0, env {DIFF_SUCCESS_DROP_ENV})",
+    )
+    runs_diff.add_argument(
+        "--min-wall-clock", type=float, default=0.005,
+        help="wall-clock floor in seconds below which ratios never gate (default 0.005)",
+    )
+    runs_diff.set_defaults(func=_cmd_runs_diff)
+
+    runs_merge = runs_sub.add_parser(
+        "merge", help="union trial sets of identical cells into a new, larger run"
+    )
+    runs_merge.add_argument("run_ids", nargs="+", metavar="run_id",
+                            help="two or more trial_set run ids (or latest / latest~N)")
+    runs_merge.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_merge.add_argument("--label", default=None, help="label for the merged run(s)")
+    runs_merge.set_defaults(func=_cmd_runs_merge)
+
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune old runs (never drops the latest run of an experiment)"
+    )
+    runs_gc.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_gc.add_argument("--max-age-days", type=float, default=None,
+                         help="delete runs older than this many days")
+    runs_gc.add_argument("--keep", type=int, default=None,
+                         help="keep only the N newest runs")
+    runs_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be deleted without deleting")
+    runs_gc.set_defaults(func=_cmd_runs_gc)
 
     return parser
 
@@ -357,14 +543,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        args.func(args)
+        result = args.func(args)
     except BrokenPipeError:  # e.g. `repro runs list | head` closing the pipe early
         try:
             sys.stdout.close()
         except BrokenPipeError:
             pass
         return 0
-    return 0
+    return int(result) if result is not None else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

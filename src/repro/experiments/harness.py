@@ -18,6 +18,7 @@ persisted for later ``repro runs`` inspection.  Passing ``backend=`` /
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -90,7 +91,12 @@ def run_trials(
         if not seeds:
             raise ValueError("seeds must be non-empty")
     specs = build_trial_specs(workload, scheme, adversary_factory, seeds)
+    active_cache = get_runtime().cache if cache is _UNSET else cache
+    hits_before = active_cache.stats.hits if active_cache is not None else 0
+    started = time.perf_counter()
     runs = execute_trials(specs, backend=backend, cache=cache)
+    wall_clock_seconds = time.perf_counter() - started
+    cached_trials = (active_cache.stats.hits - hits_before) if active_cache is not None else 0
     name = label if label is not None else f"{workload.name}/{scheme.name}"
     trial_set = TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
     run_store: Optional[RunStore] = get_runtime().store if store is _UNSET else store
@@ -101,6 +107,12 @@ def run_trials(
             aggregate=trial_set.aggregate,
             experiment="run_trials",
             parameters={"scheme": scheme.name, "workload": workload.name, "seeds": list(seeds)},
+            # Wall clock of this cell's execute_trials call, plus how many of
+            # its trials were cache hits — `runs diff` only gates on the wall
+            # clock of runs that computed every trial fresh, so a warm cache
+            # can never fake (or mask) a perf regression.
+            wall_clock_seconds=wall_clock_seconds,
+            cached_trials=cached_trials,
         )
     return trial_set
 

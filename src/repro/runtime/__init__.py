@@ -13,6 +13,10 @@ The runtime is the layer between the experiment harnesses (which decide
   optionally persisted to disk;
 * :class:`~repro.runtime.store.RunStore` — a queryable on-disk history of
   every run;
+* :mod:`~repro.runtime.analytics` — cross-run comparison
+  (:func:`~repro.runtime.analytics.diff_runs`), aggregation
+  (:func:`~repro.runtime.analytics.merge_runs`) and pruning
+  (:func:`~repro.runtime.analytics.gc_runs`) over a store;
 * :func:`~repro.runtime.context.use_runtime` — ambient configuration so deep
   call stacks (CLI → experiment → harness) share one backend/cache/store.
 
@@ -25,6 +29,16 @@ Typical use::
         rows = build_table1()          # trials fan out, repeats are cached
 """
 
+from repro.runtime.analytics import (
+    CellDelta,
+    GCResult,
+    MergeResult,
+    RegressionThresholds,
+    RunDiff,
+    diff_runs,
+    gc_runs,
+    merge_runs,
+)
 from repro.runtime.backends import ExecutionBackend, ProcessPoolBackend, SerialBackend, execute_trial
 from repro.runtime.cache import CACHE_SCHEMA_VERSION, CacheStats, ResultCache
 from repro.runtime.context import RuntimeContext, get_runtime, set_default_runtime, use_runtime
@@ -35,10 +49,13 @@ from repro.runtime.spec import (
     TrialSpec,
     build_trial_specs,
     canonical_payload,
+    clear_payload_memo,
     derive_trial_seed,
     fingerprint_trial,
+    memoized_payload,
+    payload_memo_stats,
 )
-from repro.runtime.store import STORE_SCHEMA_VERSION, RunStore, StoredRun
+from repro.runtime.store import STORE_SCHEMA_VERSION, RunStore, StoredRun, bench_env_name
 
 __all__ = [
     "ExecutionBackend",
@@ -51,6 +68,9 @@ __all__ = [
     "TRIAL_KEY_SCHEMA",
     "build_trial_specs",
     "canonical_payload",
+    "memoized_payload",
+    "payload_memo_stats",
+    "clear_payload_memo",
     "derive_trial_seed",
     "fingerprint_trial",
     "ResultCache",
@@ -59,6 +79,15 @@ __all__ = [
     "RunStore",
     "StoredRun",
     "STORE_SCHEMA_VERSION",
+    "bench_env_name",
+    "CellDelta",
+    "RunDiff",
+    "RegressionThresholds",
+    "diff_runs",
+    "MergeResult",
+    "merge_runs",
+    "GCResult",
+    "gc_runs",
     "RuntimeContext",
     "get_runtime",
     "set_default_runtime",

@@ -1,0 +1,418 @@
+"""Cross-run analytics over a :class:`~repro.runtime.store.RunStore`.
+
+The store remembers runs; this module compares, combines and prunes them:
+
+* :func:`diff_runs` — per-cell success-rate and wall-clock deltas between two
+  persisted runs, classified against configurable
+  :class:`RegressionThresholds` so CI can gate on the result (`repro runs
+  diff` exits non-zero when any cell regresses);
+* :func:`merge_runs` — union the trial sets of identical cells across runs,
+  growing the effective sample size without re-running a single simulation;
+* :func:`gc_runs` — age/count-based pruning that never drops the latest run
+  of any experiment, so a store can run unattended without growing forever.
+
+A *cell* is the unit of comparison: for ``trial_set`` records it is the
+record's label (one record is one experimental cell), for ``bench`` records
+it is one benchmark of the session.  Diffing runs of different kinds is
+refused — the metrics are not comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta, timezone
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import summarize_runs
+from repro.runtime.store import RunStore, StoredRun
+
+#: Cell statuses a :class:`CellDelta` can carry.  Only ``regression`` makes
+#: :attr:`RunDiff.has_regression` true; cells present in a single run are
+#: reported (they make the diff *informative*) but never gate CI on their own.
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_IMPROVED = "improved"
+STATUS_ONLY_BASELINE = "only-baseline"
+STATUS_ONLY_CANDIDATE = "only-candidate"
+
+
+@dataclass(frozen=True)
+class RegressionThresholds:
+    """What counts as a regression when diffing two runs.
+
+    ``max_wall_clock_increase`` is fractional: ``0.25`` tolerates candidate
+    wall clocks up to 25% above the baseline.  ``max_success_rate_drop`` is
+    absolute: ``0.0`` means any drop in success rate regresses.
+    ``min_wall_clock_seconds`` is an absolute floor below which wall-clock
+    ratios never gate — on sub-millisecond cells the scheduler jitter alone
+    exceeds any sane ratio, and a CI gate that flakes is a gate that gets
+    deleted.
+    """
+
+    max_wall_clock_increase: float = 0.25
+    max_success_rate_drop: float = 0.0
+    min_wall_clock_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_wall_clock_increase < 0:
+            raise ValueError("max_wall_clock_increase must be >= 0")
+        if self.max_success_rate_drop < 0:
+            raise ValueError("max_success_rate_drop must be >= 0")
+        if self.min_wall_clock_seconds < 0:
+            raise ValueError("min_wall_clock_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class CellDelta:
+    """One (cell, metric) comparison between two runs."""
+
+    cell: str
+    metric: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    status: str
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline is None or self.candidate is None or self.baseline == 0:
+            return None
+        return self.candidate / self.baseline
+
+    def as_dict(self) -> Dict[str, object]:
+        def fmt(value: Optional[float]) -> object:
+            return "-" if value is None else value
+
+        return {
+            "cell": self.cell,
+            "metric": self.metric,
+            "baseline": fmt(self.baseline),
+            "candidate": fmt(self.candidate),
+            "delta": fmt(self.delta),
+            "ratio": fmt(self.ratio),
+            "status": self.status,
+        }
+
+
+@dataclass(frozen=True)
+class RunDiff:
+    """The full comparison of two runs, one :class:`CellDelta` per metric."""
+
+    baseline_id: str
+    candidate_id: str
+    kind: str
+    thresholds: RegressionThresholds
+    rows: List[CellDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        return [row for row in self.rows if row.status == STATUS_REGRESSION]
+
+    @property
+    def has_regression(self) -> bool:
+        return bool(self.regressions)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [row.as_dict() for row in self.rows]
+
+
+def _trial_set_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float]], bool]:
+    stored = RunStore.trial_set_from_payload(payload)
+    metrics: Dict[str, float] = {
+        "success_rate": stored.aggregate.success_rate,
+        "mean_overhead": stored.aggregate.mean_overhead,
+    }
+    if stored.wall_clock_seconds is not None:
+        metrics["wall_clock_seconds"] = float(stored.wall_clock_seconds)
+    # A run that served any trial from the result cache did not pay for that
+    # work, so its wall clock measures cache state, not this build's speed —
+    # never gate on it (in either direction: a warm baseline would fake a
+    # regression, a warm candidate would mask one).
+    wall_clock_gated = not payload.get("cached_trials")
+    return {stored.label: metrics}, wall_clock_gated
+
+
+def _bench_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float]], bool]:
+    cells: Dict[str, Dict[str, float]] = {}
+    for row in payload.get("benchmarks", []):
+        name = str(row.get("fullname") or row.get("name") or "")
+        if not name or row.get("mean_seconds") is None:
+            continue
+        cells[name] = {"wall_clock_seconds": float(row["mean_seconds"])}
+    return cells, True
+
+
+_CELL_EXTRACTORS = {"trial_set": _trial_set_cells, "bench": _bench_cells}
+
+
+def _classify(
+    metric: str,
+    baseline: float,
+    candidate: float,
+    thresholds: RegressionThresholds,
+    gate_wall_clock: bool = True,
+) -> str:
+    if metric == "success_rate":
+        if baseline - candidate > thresholds.max_success_rate_drop:
+            return STATUS_REGRESSION
+        return STATUS_IMPROVED if candidate > baseline else STATUS_OK
+    if metric == "wall_clock_seconds":
+        if (
+            gate_wall_clock
+            and baseline >= thresholds.min_wall_clock_seconds
+            and baseline > 0
+            and candidate / baseline > 1.0 + thresholds.max_wall_clock_increase
+        ):
+            return STATUS_REGRESSION
+        return STATUS_IMPROVED if candidate < baseline else STATUS_OK
+    # Remaining metrics (mean_overhead) are informative, never gating: the
+    # overhead of a *successful* simulation is a property of the scheme, not
+    # of this build's performance.
+    return STATUS_OK
+
+
+def diff_runs(
+    baseline: Dict[str, object],
+    candidate: Dict[str, object],
+    thresholds: Optional[RegressionThresholds] = None,
+) -> RunDiff:
+    """Compare two loaded run documents cell by cell.
+
+    Both documents must be of the same, diffable kind (``trial_set`` or
+    ``bench``).  Cells present in only one run are reported with status
+    ``only-baseline`` / ``only-candidate`` and never count as regressions —
+    a disjoint diff is useless but not a CI failure.  Wall clock gates only
+    when *both* runs computed every trial fresh (``cached_trials`` of 0);
+    a warm result cache on either side turns it informative.
+    """
+    thresholds = thresholds or RegressionThresholds()
+    kind_a, kind_b = baseline.get("kind"), candidate.get("kind")
+    if kind_a != kind_b:
+        raise ValueError(f"cannot diff a {kind_a!r} run against a {kind_b!r} run")
+    extractor = _CELL_EXTRACTORS.get(str(kind_a))
+    if extractor is None:
+        raise ValueError(
+            f"runs of kind {kind_a!r} are not diffable (diffable kinds: "
+            f"{', '.join(sorted(_CELL_EXTRACTORS))})"
+        )
+    cells_a, wall_gated_a = extractor(baseline)
+    cells_b, wall_gated_b = extractor(candidate)
+    gate_wall_clock = wall_gated_a and wall_gated_b
+
+    rows: List[CellDelta] = []
+    for cell in sorted(set(cells_a) | set(cells_b)):
+        in_a, in_b = cell in cells_a, cell in cells_b
+        if not in_b:
+            rows.append(CellDelta(cell, "-", None, None, STATUS_ONLY_BASELINE))
+            continue
+        if not in_a:
+            rows.append(CellDelta(cell, "-", None, None, STATUS_ONLY_CANDIDATE))
+            continue
+        for metric in sorted(set(cells_a[cell]) | set(cells_b[cell])):
+            value_a = cells_a[cell].get(metric)
+            value_b = cells_b[cell].get(metric)
+            if value_a is None or value_b is None:
+                # e.g. wall clock recorded on only one side (older writer)
+                rows.append(CellDelta(cell, metric, value_a, value_b, STATUS_OK))
+                continue
+            status = _classify(metric, value_a, value_b, thresholds, gate_wall_clock)
+            rows.append(CellDelta(cell, metric, value_a, value_b, status))
+    return RunDiff(
+        baseline_id=str(baseline.get("run_id", "?")),
+        candidate_id=str(candidate.get("run_id", "?")),
+        kind=str(kind_a),
+        thresholds=thresholds,
+        rows=rows,
+    )
+
+
+# -- merging ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of :func:`merge_runs`: new run ids plus the inputs that had no
+    partner cell to merge with."""
+
+    created: List[str]
+    skipped: List[str]
+
+
+def _union_trials(group: Sequence[StoredRun]) -> Tuple[list, list, bool]:
+    """Union the trials of one cell, deduplicating by seed where the seed
+    schedule was recorded (the same seed of the same cell is the same trial —
+    counting it twice would inflate the sample without adding information).
+
+    Returns ``(runs, seeds, all_aligned)``; ``all_aligned`` is False when any
+    member lacks a seed schedule matching its trial list, in which case the
+    returned seeds are partial and must not be recorded as the merged run's
+    schedule.
+    """
+    merged_runs: list = []
+    merged_seeds: list = []
+    seen_seeds = set()
+    all_aligned = True
+    for stored in group:
+        seeds = stored.parameters.get("seeds")
+        aligned = isinstance(seeds, list) and len(seeds) == len(stored.runs)
+        all_aligned = all_aligned and aligned
+        for index, metrics in enumerate(stored.runs):
+            if aligned:
+                seed = seeds[index]
+                if seed in seen_seeds:
+                    continue
+                seen_seeds.add(seed)
+                merged_seeds.append(seed)
+            merged_runs.append(metrics)
+    return merged_runs, merged_seeds, all_aligned
+
+
+def merge_runs(
+    store: RunStore,
+    run_ids: Sequence[str],
+    label: Optional[str] = None,
+) -> MergeResult:
+    """Merge ``trial_set`` runs of identical cells into new, larger records.
+
+    Runs are grouped by cell — ``(experiment, label)`` plus the recorded
+    scheme and workload, so two runs that merely share a custom label can
+    never be mixed — and every group with at least two members is unioned
+    (:func:`_union_trials`), re-aggregated and written back as a new
+    ``trial_set`` carrying ``merged_from`` provenance.  Non-trial-set runs
+    and schema-mismatched documents are refused outright (``ValueError``)
+    — merging across layouts could silently mix incompatible metrics.
+    Duplicate run ids are collapsed before grouping.
+    """
+    run_ids = list(dict.fromkeys(run_ids))  # same id twice is one run, not two samples
+    if len(run_ids) < 2:
+        raise ValueError("merge needs at least two distinct run ids")
+    loaded: List[StoredRun] = []
+    for run_id in run_ids:
+        payload = store.load(run_id)  # raises KeyError/ValueError on missing/schema mismatch
+        if payload.get("kind") != "trial_set":
+            raise ValueError(
+                f"run {run_id!r} is a {payload.get('kind')!r}; only trial_set runs can be merged"
+            )
+        loaded.append(RunStore.trial_set_from_payload(payload))
+
+    def cell_key(stored: StoredRun) -> Tuple[str, str, str, str]:
+        return (
+            stored.experiment,
+            stored.label,
+            str(stored.parameters.get("scheme", stored.aggregate.scheme)),
+            str(stored.parameters.get("workload", "")),
+        )
+
+    groups: Dict[Tuple[str, str, str, str], List[StoredRun]] = {}
+    for stored in loaded:
+        groups.setdefault(cell_key(stored), []).append(stored)
+
+    created: List[str] = []
+    skipped: List[str] = []
+    for (experiment, cell_label, _, _), group in groups.items():
+        if len(group) < 2:
+            skipped.extend(stored.run_id for stored in group)
+            continue
+        merged_runs, merged_seeds, all_aligned = _union_trials(group)
+        aggregate = summarize_runs(merged_runs, scheme=group[0].aggregate.scheme)
+        parameters = dict(group[0].parameters)
+        if all_aligned and merged_seeds:
+            parameters["seeds"] = merged_seeds
+        else:
+            # A partial schedule would misdescribe the merged trial list (and
+            # silently disable seed-dedup in any later merge of this record).
+            parameters.pop("seeds", None)
+        parameters["merged_from"] = [stored.run_id for stored in group]
+        created.append(
+            store.record_trial_set(
+                label=label if label is not None else cell_label,
+                runs=merged_runs,
+                aggregate=aggregate,
+                experiment=experiment,
+                parameters=parameters,
+            )
+        )
+    return MergeResult(created=created, skipped=skipped)
+
+
+# -- pruning ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GCResult:
+    """Outcome of :func:`gc_runs` (``deleted`` lists what *would* be deleted
+    under ``dry_run``)."""
+
+    deleted: List[str]
+    kept: List[str]
+    dry_run: bool = False
+
+
+def _parse_timestamp(value: object) -> Optional[datetime]:
+    try:
+        parsed = datetime.fromisoformat(str(value))
+    except (TypeError, ValueError):
+        return None
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed
+
+
+def gc_runs(
+    store: RunStore,
+    max_age_days: Optional[float] = None,
+    keep_count: Optional[int] = None,
+    now: Optional[datetime] = None,
+    dry_run: bool = False,
+) -> GCResult:
+    """Prune old runs from a store.
+
+    A run is deleted when it is older than ``max_age_days`` *or* outside the
+    ``keep_count`` newest runs — except that the latest run of every
+    experiment is always kept (the whole point of the store is that the most
+    recent result of each experiment stays auditable, and ``runs diff
+    latest~1 latest`` needs a baseline).  Runs whose timestamp cannot be
+    parsed are never age-pruned.  ``dry_run`` reports without deleting.
+    """
+    if max_age_days is None and keep_count is None:
+        raise ValueError("gc needs max_age_days and/or keep_count")
+    if max_age_days is not None and max_age_days < 0:
+        raise ValueError("max_age_days must be >= 0")
+    if keep_count is not None and keep_count < 0:
+        raise ValueError("keep_count must be >= 0")
+    now = now or datetime.now(timezone.utc)
+
+    rows = store.list_runs()  # ordered oldest → newest by run id
+    protected = {
+        max(
+            (row for row in rows if row["experiment"] == experiment),
+            key=lambda row: str(row["run_id"]),
+        )["run_id"]
+        for experiment in {row["experiment"] for row in rows}
+    }
+
+    deleted: List[str] = []
+    kept: List[str] = []
+    cutoff = now - timedelta(days=max_age_days) if max_age_days is not None else None
+    for position, row in enumerate(rows):
+        run_id = str(row["run_id"])
+        newest_rank = len(rows) - position  # 1 = newest
+        too_old = False
+        if cutoff is not None:
+            created_at = _parse_timestamp(row.get("created_at"))
+            too_old = created_at is not None and created_at < cutoff
+        beyond_count = keep_count is not None and newest_rank > keep_count
+        if (too_old or beyond_count) and run_id not in protected:
+            deleted.append(run_id)
+        else:
+            kept.append(run_id)
+
+    if not dry_run:
+        for run_id in deleted:
+            store.delete(run_id)
+    return GCResult(deleted=deleted, kept=kept, dry_run=dry_run)

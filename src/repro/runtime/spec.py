@@ -12,6 +12,22 @@ Python container could introduce nondeterminism (dict/set iteration order,
 ``PYTHONHASHSEED``).  Callables are described by their import path; lambdas
 and closures have no stable import path, so any spec that contains one is
 marked ``stable=False`` and simply bypasses the cache instead of poisoning it.
+
+Canonicalisation walks the whole workload (graph, protocol, inputs), which is
+by far the most expensive part of fingerprinting.  A sweep grid shares the
+same workload / scheme / adversary-factory *objects* across hundreds of
+trials, so :func:`fingerprint_trial` memoises the canonical payload per
+object (identity-keyed, weakly referenced — see :class:`_PayloadMemo`) and
+interns the finished :class:`TrialKey` on the :class:`TrialSpec`.
+
+**The memo adds a contract**: the identity state of a workload / scheme /
+factory must not change between fingerprints of the same object (lazy
+``_``-prefixed caches are excluded from the payload and may change freely).
+Every in-tree path satisfies it — schemes and workload containers are frozen,
+and the builders make fresh objects per experiment — but code that mutates,
+say, a protocol's public inputs in place and reuses the object would be
+served the pre-mutation fingerprint.  Mutating callers must rebuild the
+object (builders are cheap) or call :func:`clear_payload_memo`.
 """
 
 from __future__ import annotations
@@ -21,6 +37,7 @@ import hashlib
 import inspect
 import json
 import random
+import weakref
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Dict, List, Mapping, Tuple
 
@@ -175,10 +192,73 @@ def _sort_token(payload: Any) -> str:
 
 
 def canonical_payload(obj: Any) -> Tuple[Any, bool]:
-    """Canonicalise ``obj``; returns ``(payload, stable)``."""
+    """Canonicalise ``obj``; returns ``(payload, stable)``.  Unmemoised —
+    every call re-walks the object (see :func:`memoized_payload`)."""
     canonicalizer = _Canonicalizer()
     payload = canonicalizer.convert(obj)
     return payload, canonicalizer.stable
+
+
+class _PayloadMemo:
+    """Identity-keyed memo of canonical payloads.
+
+    Keys are ``id(obj)`` guarded by a weak reference (an id can be recycled
+    after the object dies; the weakref both detects that and evicts the entry
+    via its callback), so the memo never keeps a workload alive and never
+    serves a payload for a different object that happens to reuse the
+    address.  Objects that do not support weak references fall back to
+    unmemoised canonicalisation — correctness is never traded for speed.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Tuple[Any, Any, bool]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, obj: Any) -> Tuple[Any, bool]:
+        key = id(obj)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is obj:
+            self.hits += 1
+            return entry[1], entry[2]
+        self.misses += 1
+        payload, stable = canonical_payload(obj)
+        try:
+            ref = weakref.ref(obj, lambda _, key=key: self._entries.pop(key, None))
+        except TypeError:
+            return payload, stable  # not weak-referenceable: do not memoise
+        self._entries[key] = (ref, payload, stable)
+        return payload, stable
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_payload_memo = _PayloadMemo()
+
+
+def memoized_payload(obj: Any) -> Tuple[Any, bool]:
+    """Like :func:`canonical_payload`, but served from the identity memo when
+    the same object was canonicalised before (one walk per unique workload /
+    scheme / factory instead of one per trial)."""
+    return _payload_memo.lookup(obj)
+
+
+def payload_memo_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the payload memo (observable in tests and
+    micro-benchmarks)."""
+    return {
+        "hits": _payload_memo.hits,
+        "misses": _payload_memo.misses,
+        "entries": len(_payload_memo._entries),
+    }
+
+
+def clear_payload_memo() -> None:
+    """Drop every memoised payload and reset the counters."""
+    _payload_memo.clear()
 
 
 def _package_version() -> str:
@@ -195,19 +275,33 @@ def fingerprint_trial(spec: TrialSpec) -> TrialKey:
     The package version is part of the payload, so a persistent cache is
     invalidated wholesale whenever the simulator's code (and hence possibly
     its behaviour) changes — stale results are never served across upgrades.
+
+    The workload / scheme / factory payloads come from the identity memo
+    (:func:`memoized_payload`) and the finished key is interned on the spec,
+    so a sweep grid canonicalises each unique ingredient once, not once per
+    trial.  The digest is byte-identical to unmemoised fingerprinting.
     """
-    canonicalizer = _Canonicalizer()
+    interned = spec.__dict__.get("_trial_key")
+    if interned is not None:
+        return interned
+    workload_payload, workload_stable = memoized_payload(spec.workload)
+    scheme_payload, scheme_stable = memoized_payload(spec.scheme)
+    factory_payload, factory_stable = memoized_payload(spec.adversary_factory)
     payload = {
         "schema": TRIAL_KEY_SCHEMA,
         "version": _package_version(),
-        "workload": canonicalizer.convert(spec.workload),
-        "scheme": canonicalizer.convert(spec.scheme),
-        "adversary_factory": canonicalizer.convert(spec.adversary_factory),
+        "workload": workload_payload,
+        "scheme": scheme_payload,
+        "adversary_factory": factory_payload,
         "seed": spec.seed,
     }
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
-    return TrialKey(digest=digest, stable=canonicalizer.stable)
+    key = TrialKey(digest=digest, stable=workload_stable and scheme_stable and factory_stable)
+    # TrialSpec is frozen; the interned key is a pure function of the spec, so
+    # stashing it is observationally immutable (and invisible to fields()).
+    object.__setattr__(spec, "_trial_key", key)
+    return key
 
 
 def build_trial_specs(

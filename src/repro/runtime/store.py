@@ -9,27 +9,34 @@ store root:
     <root>/run-000002.json
     ...
 
-Two kinds of records exist:
+Three kinds of records exist:
 
 * ``trial_set`` — the per-trial :class:`~repro.analysis.metrics.RunMetrics`
   plus the :class:`~repro.analysis.metrics.AggregateMetrics` of one
   experimental cell (written by ``run_trials`` whenever a store is active);
 * ``report`` — a full :class:`~repro.experiments.reporting.ExperimentReport`
-  (written by the CLI commands).
+  (written by the CLI commands);
+* ``bench`` — one row per benchmark of a ``pytest-benchmark`` session
+  (wall-clock stats plus ``extra_info``, written by ``benchmarks/conftest.py``
+  at session end), including a flat ``BENCH_<NAME>=<mean seconds>`` export so
+  external dashboards can consume the numbers without knowing this layout.
 
 Every document carries ``schema`` so future layouts can evolve; loading
 raises on an unknown schema instead of silently misreading it.  Run ids are
 monotonically increasing per store directory (single-writer by design — the
-store backs a CLI, not a database).
+store backs a CLI, not a database).  :mod:`repro.runtime.analytics` builds
+cross-run comparison (``diff``), aggregation (``merge``) and pruning (``gc``)
+on top of these records.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import AggregateMetrics, RunMetrics
 
@@ -50,6 +57,15 @@ class StoredRun:
     parameters: Dict[str, object]
     runs: List[RunMetrics]
     aggregate: AggregateMetrics
+    #: Wall-clock seconds of the trial-set execution; ``None`` for records
+    #: written before timing was recorded.
+    wall_clock_seconds: Optional[float] = None
+
+
+def bench_env_name(name: str) -> str:
+    """Map a benchmark name to its ``BENCH_*`` environment-style key
+    (``test_noise sweep`` → ``BENCH_TEST_NOISE_SWEEP``)."""
+    return "BENCH_" + re.sub(r"[^A-Za-z0-9]+", "_", name).strip("_").upper()
 
 
 class RunStore:
@@ -88,16 +104,54 @@ class RunStore:
         aggregate: AggregateMetrics,
         experiment: str = "trials",
         parameters: Optional[Dict[str, object]] = None,
+        wall_clock_seconds: Optional[float] = None,
+        cached_trials: Optional[int] = None,
     ) -> str:
-        """Persist one experimental cell; returns the new run id."""
+        """Persist one experimental cell; returns the new run id.
+
+        ``cached_trials`` records how many of the trials were served from the
+        result cache — analytics treat the wall clock of a partially-cached
+        run as informative only.
+        """
+        payload: Dict[str, object] = {
+            "kind": "trial_set",
+            "label": label,
+            "experiment": experiment,
+            "parameters": parameters or {},
+            "runs": [metrics.to_payload() for metrics in runs],
+            "aggregate": aggregate.to_payload(),
+        }
+        if wall_clock_seconds is not None:
+            payload["wall_clock_seconds"] = wall_clock_seconds
+        if cached_trials is not None:
+            payload["cached_trials"] = cached_trials
+        return self._write(payload)
+
+    def record_bench(
+        self,
+        benchmarks: Sequence[Dict[str, object]],
+        label: str = "benchmark-session",
+    ) -> str:
+        """Persist one benchmark session; returns the new run id.
+
+        Each row must carry ``name`` and ``mean_seconds`` (plus whatever
+        stats/``extra_info`` the harness collected).  A flat
+        ``BENCH_<NAME> → mean_seconds`` map is stored alongside so the
+        numbers are consumable without knowing the row layout.
+        """
+        rows = [dict(row) for row in benchmarks]
+        export = {
+            bench_env_name(str(row.get("name", ""))): row.get("mean_seconds")
+            for row in rows
+            if row.get("name")
+        }
         return self._write(
             {
-                "kind": "trial_set",
+                "kind": "bench",
                 "label": label,
-                "experiment": experiment,
-                "parameters": parameters or {},
-                "runs": [metrics.to_payload() for metrics in runs],
-                "aggregate": aggregate.to_payload(),
+                "experiment": "benchmarks",
+                "benchmarks": rows,
+                "bench_env": export,
             }
         )
 
@@ -149,6 +203,7 @@ class RunStore:
             parameters=dict(payload.get("parameters", {})),
             runs=[RunMetrics.from_payload(data) for data in payload["runs"]],
             aggregate=AggregateMetrics.from_payload(payload["aggregate"]),
+            wall_clock_seconds=payload.get("wall_clock_seconds"),
         )
 
     def list_runs(self) -> List[Dict[str, object]]:
@@ -175,11 +230,50 @@ class RunStore:
                 summary["success_rate"] = (
                     aggregate.get("successes", 0) / trials if trials else ""
                 )
+            elif payload.get("kind") == "bench":
+                summary["trials"] = len(payload.get("benchmarks", []))
+                summary["success_rate"] = ""
             else:
                 summary["trials"] = len(payload.get("rows", []))
                 summary["success_rate"] = ""
             summaries.append(summary)
         return summaries
+
+    def resolve(
+        self,
+        ref: str,
+        kind: Optional[str] = None,
+        experiment: Optional[str] = None,
+    ) -> str:
+        """Resolve a run reference to a concrete run id.
+
+        ``ref`` is either a literal run id (``run-000042``) or the symbolic
+        form ``latest`` / ``latest~N`` — the newest (N-th newest) run,
+        optionally restricted to a ``kind`` / ``experiment``.  Raises
+        ``KeyError`` when the reference points past the available history.
+        """
+        if not ref.startswith("latest"):
+            return ref
+        match = re.fullmatch(r"latest(?:~(\d+))?", ref)
+        if match is None:
+            raise KeyError(f"unrecognised run reference {ref!r} (expected 'latest' or 'latest~N')")
+        offset = int(match.group(1) or 0)
+        rows = self.query(kind=kind, experiment=experiment)
+        if offset >= len(rows):
+            constraint = f" of kind {kind!r}" if kind else ""
+            raise KeyError(
+                f"{ref!r} needs {offset + 1} run(s){constraint} in {self.root}, found {len(rows)}"
+            )
+        return str(rows[-1 - offset]["run_id"])
+
+    # -- pruning -----------------------------------------------------------
+
+    def delete(self, run_id: str) -> None:
+        """Remove one run document; raises ``KeyError`` if absent."""
+        path = self.root / f"{run_id}.json"
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in {self.root}")
+        path.unlink()
 
     def query(
         self,
