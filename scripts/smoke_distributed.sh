@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the distributed runtime, with real processes:
+#
+#   1. start two `repro worker serve` daemons on OS-assigned localhost ports
+#      (each with its own persistent cache directory);
+#   2. run a small noise sweep through `--backend distributed` with a run
+#      store, then the identical sweep serially into a second store;
+#   3. assert the distributed run's trial-set records carry the same
+#      per-trial metrics (the result fingerprints) as the serial run's, and
+#      that worker attribution was recorded;
+#   4. re-run the distributed sweep and assert the workers' warm caches
+#      served it without executing a single new trial.
+#
+# Exits non-zero on any mismatch.  Invoked from the tier-1 suite as the
+# opt-in `distributed_smoke` marker:
+#
+#   REPRO_SMOKE_DISTRIBUTED=1 python -m pytest tests/test_distributed.py -m distributed_smoke
+#
+# or run it directly: bash scripts/smoke_distributed.sh
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+export PYTHONPATH="$ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+WORK="$(mktemp -d)"
+WORKER_PIDS=()
+
+cleanup() {
+    for pid in "${WORKER_PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_worker() { # $1 = name
+    local log="$WORK/$1.log"
+    python -m repro worker serve --host 127.0.0.1 --port 0 \
+        --cache-dir "$WORK/$1-cache" --worker-id "$1" > "$log" 2>&1 &
+    WORKER_PIDS+=($!)
+    for _ in $(seq 1 50); do
+        if grep -q "listening on" "$log" 2>/dev/null; then
+            sed -n 's/.*listening on [^:]*:\([0-9]*\)$/\1/p' "$log"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "worker $1 did not come up; log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+echo "== starting two localhost workers"
+PORT_A="$(start_worker worker-a)"
+PORT_B="$(start_worker worker-b)"
+WORKERS="127.0.0.1:$PORT_A,127.0.0.1:$PORT_B"
+echo "   workers: $WORKERS"
+
+SWEEP_ARGS=(noise-sweep --topology line --nodes 4 --phases 4
+            --multipliers 0.5 4.0 --trials 2 --seed 11 --no-cache)
+
+echo "== distributed sweep"
+python -m repro "${SWEEP_ARGS[@]}" \
+    --backend distributed --workers "$WORKERS" \
+    --store-dir "$WORK/dist-store" > "$WORK/dist.out"
+
+echo "== serial sweep"
+python -m repro "${SWEEP_ARGS[@]}" --store-dir "$WORK/serial-store" > "$WORK/serial.out"
+
+echo "== comparing run-record fingerprints and attribution"
+python - "$WORK/dist-store" "$WORK/serial-store" <<'PY'
+import sys
+from repro.runtime import RunStore
+
+dist_store, serial_store = RunStore(sys.argv[1]), RunStore(sys.argv[2])
+
+def trial_sets(store):
+    rows = store.query(kind="trial_set")
+    assert rows, f"no trial_set records in {store.root}"
+    return {row["label"]: store.load(row["run_id"]) for row in rows}
+
+dist, serial = trial_sets(dist_store), trial_sets(serial_store)
+assert set(dist) == set(serial), f"cell labels differ: {set(dist) ^ set(serial)}"
+for label in sorted(dist):
+    assert dist[label]["runs"] == serial[label]["runs"], \
+        f"per-trial metrics differ for cell {label!r}"
+    assert dist[label]["aggregate"] == serial[label]["aggregate"], \
+        f"aggregate differs for cell {label!r}"
+    workers = dist[label].get("workers", {})
+    assert workers.get("backend") == "distributed", \
+        f"missing distributed attribution for cell {label!r}"
+print(f"   {len(dist)} cell(s) bit-identical, attribution recorded")
+PY
+
+echo "== warm-cache re-run (expect zero executed trials)"
+python -m repro "${SWEEP_ARGS[@]}" \
+    --backend distributed --workers "$WORKERS" \
+    --store-dir "$WORK/dist-store" > "$WORK/rerun.out"
+python - "$WORK/dist-store" <<'PY'
+import sys
+from repro.runtime import RunStore
+
+store = RunStore(sys.argv[1])
+rows = store.query(kind="trial_set")
+rerun = [store.load(row["run_id"]) for row in rows[len(rows) // 2:]]
+for payload in rerun:
+    attribution = payload.get("workers", {})
+    executed = sum(
+        stats.get("trials_executed", 0)
+        for stats in attribution.get("workers", {}).values()
+    )
+    assert executed == 0, \
+        f"re-run executed {executed} trial(s) in cell {payload['label']!r} instead of 0"
+    assert payload.get("cached_trials") == len(payload["runs"]), \
+        f"cell {payload['label']!r} not fully served from cache"
+print(f"   {len(rerun)} cell(s) served entirely from the cluster cache")
+PY
+
+echo "smoke_distributed: OK"

@@ -10,7 +10,11 @@ writing any Python:
 * ``simulate``      — one simulation of a chosen workload/scheme/noise level,
 * ``runs``          — run-store analytics: ``list`` / ``show`` persisted runs,
   ``diff`` two runs cell by cell (non-zero exit on regression, so CI can gate
-  on it), ``merge`` trial sets of the same cell, ``gc`` old runs.
+  on it), ``merge`` trial sets of the same cell, ``gc`` old runs,
+* ``worker``        — ``worker serve`` runs a distributed-execution worker
+  daemon (see ``--backend distributed`` below),
+* ``cache``         — trial-cache hygiene: ``cache compact`` rewrites the
+  JSONL mirror keeping only the latest entry per trial key.
 
 ``runs diff|show|merge`` accept either literal run ids (``run-000042``) or the
 symbolic references ``latest`` / ``latest~N`` — the N-th newest run, after the
@@ -22,6 +26,10 @@ report via ``--output``.  Experiment commands share the runtime flags:
 
 * ``--jobs N``      — fan trials out over N worker processes (results are
   bit-identical to serial execution; see ``src/repro/runtime/README.md``),
+* ``--backend``     — pick the execution backend explicitly: ``serial``,
+  ``process-pool`` (what ``--jobs N`` implies) or ``distributed``,
+* ``--workers``     — comma-separated ``host:port`` list of ``repro worker
+  serve`` daemons for ``--backend distributed``,
 * ``--cache-dir``   — persist trial results so re-runs skip finished work,
 * ``--no-cache``    — disable result caching entirely (even in-memory),
 * ``--store-dir``   — persist every trial set and the final report to a run
@@ -54,11 +62,13 @@ from repro.experiments.table1 import TABLE1_COLUMNS, build_table1
 from repro.experiments.theorem_validation import rate_vs_protocol_size
 from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
 from repro.runtime import (
+    DistributedBackend,
     ProcessPoolBackend,
     RegressionThresholds,
     ResultCache,
     RunStore,
     SerialBackend,
+    WorkerServer,
     diff_runs,
     gc_runs,
     merge_runs,
@@ -74,6 +84,20 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for trial execution (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--backend", choices=["serial", "process-pool", "distributed"], default=None,
+        help="execution backend (default: serial, or process-pool when --jobs > 1)",
+    )
+    parser.add_argument(
+        "--workers", default=None,
+        help="comma-separated host:port list of worker daemons (--backend distributed)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0,
+        help="seconds without a worker frame before it is declared dead "
+             "(--backend distributed; stretched automatically for workers "
+             "announcing a slower --heartbeat-interval)",
     )
     parser.add_argument(
         "--cache-dir", default=None,
@@ -92,8 +116,17 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _runtime_overrides(args: argparse.Namespace) -> Dict[str, object]:
     """Translate CLI flags into a runtime-context override for ``use_runtime``."""
-    if args.jobs > 1:
-        backend = ProcessPoolBackend(max_workers=args.jobs)
+    backend_name = args.backend or ("process-pool" if args.jobs > 1 else "serial")
+    if backend_name == "distributed":
+        addresses = [part.strip() for part in (args.workers or "").split(",") if part.strip()]
+        if not addresses:
+            raise _fail("--backend distributed needs --workers host:port[,host:port...]")
+        try:
+            backend = DistributedBackend(workers=addresses, heartbeat_timeout=args.heartbeat_timeout)
+        except ValueError as exc:
+            raise _fail(str(exc))
+    elif backend_name == "process-pool":
+        backend = ProcessPoolBackend(max_workers=args.jobs if args.jobs > 1 else None)
     else:
         backend = SerialBackend()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -418,6 +451,43 @@ def _cmd_runs_gc(args: argparse.Namespace) -> None:
         print(f"  {verb}: {run_id}")
 
 
+def _cmd_worker_serve(args: argparse.Namespace) -> None:
+    try:
+        server = WorkerServer(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            heartbeat_interval=args.heartbeat_interval,
+        )
+    except (OSError, ValueError) as exc:
+        raise _fail(f"cannot start worker: {exc}")
+    # One parseable line so scripts can discover an OS-assigned port (--port 0).
+    print(f"worker {server.worker_id} listening on {server.address}", flush=True)
+    if args.cache_dir:
+        print(f"cache: {args.cache_dir} ({len(server.cache)} entries)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(f"worker {server.worker_id}: executed {server.trials_executed} trial(s), shutting down")
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> None:
+    cache = ResultCache(args.cache_dir)
+    try:
+        result = cache.compact()
+    except ValueError as exc:
+        raise _fail(str(exc))
+    print(
+        f"compacted {cache.cache_dir}/trials.jsonl: kept {result['kept']} entr(ies), "
+        f"dropped {result['dropped_superseded']} superseded and "
+        f"{result['dropped_invalid']} stale/corrupt line(s)"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -473,12 +543,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--output")
     run.set_defaults(func=_cmd_simulate)
 
+    worker = sub.add_parser("worker", help="distributed-execution worker daemon")
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    worker_serve = worker_sub.add_parser(
+        "serve", help="serve trials on this host until interrupted"
+    )
+    worker_serve.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default 127.0.0.1; 0.0.0.0 for remote coordinators)")
+    worker_serve.add_argument("--port", type=int, default=0,
+                              help="TCP port (default 0 = OS-assigned, printed on startup)")
+    worker_serve.add_argument("--cache-dir", default=None,
+                              help="persist executed trials here and answer cache probes from it")
+    worker_serve.add_argument("--worker-id", default=None,
+                              help="stable id recorded in run attribution (default host:port)")
+    worker_serve.add_argument("--heartbeat-interval", type=float, default=1.0,
+                              help="seconds between liveness frames while a chunk runs (default 1.0)")
+    worker_serve.set_defaults(func=_cmd_worker_serve)
+
+    cache = sub.add_parser("cache", help="trial-result cache hygiene")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_compact = cache_sub.add_parser(
+        "compact", help="rewrite trials.jsonl keeping only the latest entry per trial key"
+    )
+    cache_compact.add_argument("--cache-dir", required=True,
+                               help="the cache directory to compact")
+    cache_compact.set_defaults(func=_cmd_cache_compact)
+
     runs = sub.add_parser("runs", help="list or inspect persisted experiment runs")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
 
     runs_list = runs_sub.add_parser("list", help="list all runs in a store")
     runs_list.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
-    runs_list.add_argument("--kind", choices=["trial_set", "report"], default=None)
+    runs_list.add_argument("--kind", choices=["trial_set", "report", "bench"], default=None)
     runs_list.add_argument("--experiment", default=None)
     runs_list.set_defaults(func=_cmd_runs_list)
 
@@ -494,7 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("candidate", help="candidate run id, or latest / latest~N")
     runs_diff.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     runs_diff.add_argument(
-        "--kind", choices=["trial_set", "bench"], default=None,
+        "--kind", choices=["trial_set", "bench", "report"], default=None,
         help="restrict latest/latest~N resolution to this record kind",
     )
     runs_diff.add_argument(

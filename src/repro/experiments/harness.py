@@ -92,6 +92,16 @@ def run_trials(
             raise ValueError("seeds must be non-empty")
     specs = build_trial_specs(workload, scheme, adversary_factory, seeds)
     active_cache = get_runtime().cache if cache is _UNSET else cache
+    active_backend = backend if backend is not None else get_runtime().backend
+    # Backends that track per-worker attribution (DistributedBackend) expose
+    # it via pop_last_attribution().  Pop once *before* executing to discard
+    # anything a failed earlier run left behind (its exception skipped the
+    # pop below), and once after to collect this cell's attribution — so a
+    # cell served entirely from the local cache can never inherit another
+    # cell's workers/cache-hit numbers.
+    popper = getattr(active_backend, "pop_last_attribution", None)
+    if callable(popper):
+        popper()
     hits_before = active_cache.stats.hits if active_cache is not None else 0
     started = time.perf_counter()
     runs = execute_trials(specs, backend=backend, cache=cache)
@@ -100,6 +110,12 @@ def run_trials(
     name = label if label is not None else f"{workload.name}/{scheme.name}"
     trial_set = TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
     run_store: Optional[RunStore] = get_runtime().store if store is _UNSET else store
+    attribution = popper() if callable(popper) else None
+    if attribution is not None:
+        # Trials served from a *remote* worker's cache were not paid for
+        # either — fold them into cached_trials so the wall-clock regression
+        # gate stays honest across hosts.
+        cached_trials += int(attribution.get("remote_cache_hits", 0) or 0)
     if run_store is not None:
         run_store.record_trial_set(
             label=trial_set.label,
@@ -113,6 +129,7 @@ def run_trials(
             # can never fake (or mask) a perf regression.
             wall_clock_seconds=wall_clock_seconds,
             cached_trials=cached_trials,
+            worker_attribution=attribution,
         )
     return trial_set
 

@@ -13,15 +13,18 @@ The store remembers runs; this module compares, combines and prunes them:
 
 A *cell* is the unit of comparison: for ``trial_set`` records it is the
 record's label (one record is one experimental cell), for ``bench`` records
-it is one benchmark of the session.  Diffing runs of different kinds is
-refused — the metrics are not comparable.
+it is one benchmark of the session, and for ``report`` records it is one row
+keyed on the row's identity columns (its string-valued entries — scheme,
+topology, noise type, …), so a regenerated Table 1 diffs row against row and
+is gated the same way trial sets and benches are.  Diffing runs of different
+kinds is refused — the metrics are not comparable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import summarize_runs
 from repro.runtime.store import RunStore, StoredRun
@@ -147,7 +150,42 @@ def _bench_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float]
     return cells, True
 
 
-_CELL_EXTRACTORS = {"trial_set": _trial_set_cells, "bench": _bench_cells}
+def _report_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float]], bool]:
+    """One cell per report row, keyed on the row's identity columns.
+
+    A report row mixes identity (which experimental cell this is: scheme,
+    topology, noise type, measured-vs-analytical kind — the string-valued
+    entries) with measurements (the numeric entries).  The identity columns
+    become the cell key, the numeric columns its metrics; booleans count as
+    numeric (``success``-style flags diff as 1.0/0.0).  Rows whose identity
+    columns collide — or rows with no string column at all — fall back to
+    their position, which is stable because report generators emit rows in a
+    deterministic order.
+    """
+    cells: Dict[str, Dict[str, float]] = {}
+    for position, row in enumerate(payload.get("rows", [])):
+        if not isinstance(row, Mapping):
+            continue
+        identity = ", ".join(
+            f"{key}={row[key]}" for key in sorted(row) if isinstance(row[key], str)
+        )
+        cell = identity or f"row[{position}]"
+        if cell in cells:
+            cell = f"{cell} [{position}]"
+        metrics: Dict[str, float] = {}
+        for key in sorted(row):
+            value = row[key]
+            if isinstance(value, bool) or isinstance(value, (int, float)):
+                metrics[key] = float(value)
+        cells[cell] = metrics
+    return cells, True
+
+
+_CELL_EXTRACTORS = {
+    "trial_set": _trial_set_cells,
+    "bench": _bench_cells,
+    "report": _report_cells,
+}
 
 
 def _classify(
@@ -183,8 +221,8 @@ def diff_runs(
 ) -> RunDiff:
     """Compare two loaded run documents cell by cell.
 
-    Both documents must be of the same, diffable kind (``trial_set`` or
-    ``bench``).  Cells present in only one run are reported with status
+    Both documents must be of the same, diffable kind (``trial_set``,
+    ``bench`` or ``report``).  Cells present in only one run are reported with status
     ``only-baseline`` / ``only-candidate`` and never count as regressions —
     a disjoint diff is useless but not a CI failure.  Wall clock gates only
     when *both* runs computed every trial fresh (``cached_trials`` of 0);

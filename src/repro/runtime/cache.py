@@ -17,6 +17,7 @@ that have no canonical fingerprint — always miss and are never stored.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -98,6 +99,85 @@ class ResultCache:
             }
             with self._path.open("a", encoding="utf-8") as handle:
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def compact(self) -> Dict[str, int]:
+        """Rewrite ``trials.jsonl`` keeping only the latest entry per key.
+
+        The mirror is append-only, so a key that was re-stored (or a file
+        that accumulated lines from an older ``CACHE_SCHEMA_VERSION``) grows
+        without bound; ``repro cache compact`` folds it back to one line per
+        live key.  Version-mismatched and corrupt lines are dropped — they
+        would be skipped on every load anyway.  The rewrite goes through a
+        temp file + atomic rename, so a concurrent reader sees either the
+        old file or the new one, never a half-written mix.
+
+        A live writer (a ``repro worker serve`` daemon appending results) is
+        tolerated: after the main pass, any bytes appended since are drained
+        into the rewrite — repeatedly, until a drain comes up empty — before
+        the rename.  The residual window between the last empty drain and
+        the rename can in principle drop a line that was being appended at
+        that exact instant; a cache line is a recomputable memo, so the cost
+        is one re-simulated trial, never a wrong result.
+
+        Returns ``{"kept", "dropped_superseded", "dropped_invalid"}``.
+        """
+        if self._path is None:
+            raise ValueError("compact needs a disk-backed cache (pass cache_dir)")
+        latest: Dict[str, str] = {}  # key digest → latest raw line (last one wins)
+        counts = {"invalid": 0, "total": 0}
+        pending = b""  # a trailing fragment without its newline yet
+
+        def consume(chunk: bytes, final: bool = False) -> None:
+            nonlocal pending
+            lines = (pending + chunk).split(b"\n")
+            pending = lines.pop()  # empty when the chunk ended on a newline
+            if final and pending:
+                lines.append(pending)
+                pending = b""
+            for raw in lines:
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                counts["total"] += 1
+                try:
+                    record = json.loads(line)
+                    if record.get("schema") != CACHE_SCHEMA_VERSION:
+                        counts["invalid"] += 1
+                        continue
+                    latest[str(record["key"])] = line
+                except (ValueError, KeyError, TypeError):
+                    counts["invalid"] += 1
+
+        offset = 0
+        if self._path.exists():
+            data = self._path.read_bytes()
+            offset = len(data)
+            consume(data)
+        temp_path = self._path.with_name(f"{self._path.name}.compact-{os.getpid()}")
+        try:
+            while True:  # drain concurrent appends until none arrive
+                try:
+                    with self._path.open("rb") as handle:
+                        handle.seek(offset)
+                        tail = handle.read()
+                except FileNotFoundError:
+                    tail = b""
+                if not tail:
+                    break
+                offset += len(tail)
+                consume(tail)
+            consume(b"", final=True)
+            with temp_path.open("w", encoding="utf-8") as handle:
+                for line in latest.values():
+                    handle.write(line + "\n")
+            os.replace(temp_path, self._path)
+        finally:
+            temp_path.unlink(missing_ok=True)
+        return {
+            "kept": len(latest),
+            "dropped_superseded": counts["total"] - counts["invalid"] - len(latest),
+            "dropped_invalid": counts["invalid"],
+        }
 
     def clear(self) -> None:
         """Drop the in-memory map and the disk mirror (if any)."""

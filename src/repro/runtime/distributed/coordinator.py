@@ -1,0 +1,519 @@
+"""The coordinator: :class:`DistributedBackend` fans trials out to workers.
+
+One ``run(specs)`` call proceeds in two phases:
+
+1. **Probe.**  Every spec is fingerprinted and every worker is asked which
+   digests its local cache already holds.  Any hit anywhere in the cluster
+   fills that result slot without dispatching the trial — the "do the work
+   once, address it by content" discipline, stretched across hosts.  Hits
+   whose cache-schema version does not match this build are ignored (the
+   digest already pins the package version, so a matching digest under a
+   matching schema is trustworthy).
+
+2. **Dispatch.**  The remaining trials are split into contiguous chunks
+   (roughly four per worker, same policy as the process pool) and dealt
+   round-robin into per-worker queues.  Each worker is driven by one
+   coordinator thread that drains its own queue first, then **steals** from
+   the back of the longest other queue — so a fast (or cache-warm) worker
+   never idles while a slow one has a backlog.  While a chunk runs, the
+   worker heartbeats; if no frame arrives within ``heartbeat_timeout`` (or
+   the connection drops), the worker is declared dead and its in-flight
+   chunk is **re-dispatched** to the survivors.  A chunk's results are only
+   ever accepted once, so a crash can never duplicate a seed.
+
+Determinism: specs carry fully-derived seeds and workers run the same
+:func:`~repro.runtime.backends.execute_trial` as every local backend, so the
+returned metrics are bit-identical to :class:`~repro.runtime.backends.SerialBackend`
+regardless of which worker ran what, in what order, or how many died on the
+way.  The hello handshake refuses workers running a different ``repro``
+version, closing the one hole in that guarantee.
+
+Attribution: after each ``run`` the backend exposes a per-worker summary
+(chunks dispatched / stolen / re-dispatched, trials executed, probe hits)
+via :meth:`DistributedBackend.pop_last_attribution`; ``run_trials`` records
+it into the run store so ``repro runs show`` answers "who computed this?".
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import threading
+import warnings
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunMetrics
+from repro.runtime.backends import ExecutionBackend
+from repro.runtime.cache import CACHE_SCHEMA_VERSION
+from repro.runtime.distributed.wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    encode_specs,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.spec import TrialSpec, fingerprint_trial
+
+#: A chunk: (chunk_id, [(index into the run's spec list, spec), ...]).
+_Chunk = Tuple[int, List[Tuple[int, TrialSpec]]]
+
+
+def parse_worker_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``; raises ``ValueError`` when malformed."""
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"worker address {address!r} is not of the form host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"worker address {address!r} has a non-numeric port")
+    if not (0 < port < 65536):
+        raise ValueError(f"worker address {address!r} has an out-of-range port")
+    return host, port
+
+
+class _WorkerLink:
+    """One coordinator-side connection to one worker."""
+
+    def __init__(self, address: str, connect_timeout: float, heartbeat_timeout: float) -> None:
+        self.address = address
+        host, port = parse_worker_address(address)
+        self.sock = socket.create_connection((host, port), timeout=connect_timeout)
+        self.sock.settimeout(heartbeat_timeout)
+        send_frame(self.sock, {"type": "hello"})
+        hello = recv_frame(self.sock)
+        # A worker configured with a slow pulse (--heartbeat-interval 15)
+        # must not be declared dead by a coordinator expecting the default:
+        # stretch the read deadline to at least three missed beats.
+        try:
+            announced = float(hello.get("heartbeat_interval") or 0.0)
+        except (TypeError, ValueError):
+            announced = 0.0
+        if announced > 0:
+            self.sock.settimeout(max(heartbeat_timeout, announced * 3))
+        if hello.get("type") != "hello":
+            raise WireError(f"worker {address} answered the handshake with {hello.get('type')!r}")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            raise WireError(
+                f"worker {address} speaks protocol {hello.get('protocol')!r}, "
+                f"this coordinator speaks {PROTOCOL_VERSION}"
+            )
+        from repro import __version__
+
+        if hello.get("version") != __version__:
+            raise WireError(
+                f"worker {address} runs repro {hello.get('version')!r}, coordinator runs "
+                f"{__version__!r} — mixed versions cannot guarantee bit-identical results"
+            )
+        self.worker_id = str(hello.get("worker_id") or address)
+
+    def ping(self) -> None:
+        """One liveness round-trip; raises when the link is no longer usable."""
+        send_frame(self.sock, {"type": "ping"})
+        if recv_frame(self.sock).get("type") != "pong":
+            raise WireError(f"worker {self.address} answered a ping with something else")
+
+    def probe(self, digests: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+        send_frame(self.sock, {"type": "probe", "digests": list(digests)})
+        response = recv_frame(self.sock)
+        if response.get("type") != "probe_result":
+            raise WireError(f"worker {self.address} answered a probe with {response.get('type')!r}")
+        hits = response.get("hits", {})
+        return hits if isinstance(hits, dict) else {}
+
+    def execute(self, chunk_id: int, specs: Sequence[TrialSpec]) -> List[RunMetrics]:
+        """Run one chunk remotely; heartbeat frames reset the read timeout."""
+        try:
+            encoded = encode_specs(specs)
+        except Exception as exc:
+            # Unpicklable spec (lambda/closure workload or factory): a
+            # deterministic caller error, not a worker failure — same
+            # contract ProcessPoolBackend imposes, said out loud.
+            raise TrialExecutionError(
+                "trial specs must be picklable to cross the wire (module-level "
+                f"functions or dataclasses, never lambdas/closures): {exc}"
+            ) from exc
+        send_frame(self.sock, {"type": "execute", "chunk_id": chunk_id, "specs": encoded})
+        while True:
+            frame = recv_frame(self.sock)  # socket timeout = heartbeat_timeout
+            kind = frame.get("type")
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                payloads = frame.get("metrics", [])
+                if frame.get("chunk_id") != chunk_id or len(payloads) != len(specs):
+                    raise WireError(f"worker {self.address} returned a mismatched result frame")
+                return [RunMetrics.from_payload(payload) for payload in payloads]
+            if kind == "error":
+                raise TrialExecutionError(
+                    f"worker {self.worker_id} ({self.address}) failed a trial: {frame.get('message')}"
+                )
+            raise WireError(f"worker {self.address} sent unexpected frame {kind!r} during execute")
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial itself raised on a worker — deterministic, so never re-dispatched."""
+
+
+class _WorkQueues:
+    """Per-worker chunk queues with stealing, re-dispatch and completion
+    tracking.
+
+    The subtlety is liveness: a survivor whose queues look empty must not
+    exit while another worker still has a chunk in flight — that chunk may
+    come back via :meth:`requeue` if its worker dies.  :meth:`take` therefore
+    blocks on a condition variable until there is either work to hand out or
+    provably none left anywhere (no queued chunks, nothing in flight)."""
+
+    def __init__(self, worker_ids: Sequence[str]) -> None:
+        self._condition = threading.Condition()
+        self._queues: Dict[str, deque] = {worker_id: deque() for worker_id in worker_ids}
+        self._redispatch: deque = deque()
+        self._in_flight = 0
+        self._aborted = False
+
+    def assign(self, worker_id: str, chunk: _Chunk) -> None:
+        self._queues[worker_id].append(chunk)
+
+    def take(self, worker_id: str) -> Optional[Tuple[_Chunk, str]]:
+        """Next chunk for ``worker_id`` and how it got it (``own`` /
+        ``stolen`` / ``redispatched``); blocks while work might still come
+        back from a dying worker; None when the run is drained or aborted."""
+        with self._condition:
+            while True:
+                if self._aborted:
+                    return None
+                if self._redispatch:
+                    self._in_flight += 1
+                    return self._redispatch.popleft(), "redispatched"
+                own = self._queues.get(worker_id)
+                if own:
+                    self._in_flight += 1
+                    return own.popleft(), "own"
+                victim = max(
+                    (queue for key, queue in self._queues.items() if key != worker_id and queue),
+                    key=len,
+                    default=None,
+                )
+                if victim is not None:
+                    self._in_flight += 1
+                    return victim.pop(), "stolen"  # steal from the back: coldest work
+                if self._in_flight == 0:
+                    return None
+                self._condition.wait()
+
+    def done(self, chunk_completed: bool, chunk: Optional[_Chunk] = None) -> None:
+        """A taken chunk finished (``chunk_completed``) or its worker died
+        (``chunk`` goes back into the re-dispatch pool)."""
+        with self._condition:
+            self._in_flight -= 1
+            if not chunk_completed and chunk is not None:
+                self._redispatch.append(chunk)
+            self._condition.notify_all()
+
+    def drop_queue(self, worker_id: str) -> None:
+        """Move a dead worker's unstarted chunks into the re-dispatch pool."""
+        with self._condition:
+            for chunk in self._queues.pop(worker_id, ()):  # preserves order
+                self._redispatch.append(chunk)
+            self._condition.notify_all()
+
+    def abort(self) -> None:
+        """Stop handing out work (a trial failed deterministically)."""
+        with self._condition:
+            self._aborted = True
+            self._condition.notify_all()
+
+    def outstanding(self) -> int:
+        with self._condition:
+            return len(self._redispatch) + sum(len(queue) for queue in self._queues.values())
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execute trials on remote workers with cluster-wide cache reuse.
+
+    ``workers`` is a list of ``host:port`` strings (one per
+    ``repro worker serve`` daemon).  ``chunk_size=None`` targets roughly four
+    chunks per worker.  ``heartbeat_timeout`` must comfortably exceed the
+    workers' heartbeat interval (default 1 s); it bounds how long a dead
+    worker can stall the run.  ``probe_cache=False`` skips the probe phase
+    (every trial is dispatched even if a worker already knows the answer).
+
+    Worker connections are dialled lazily and **reused across ``run()``
+    calls** — an experiment grid calls ``run_trials`` once per cell, and
+    paying TCP + handshake per cell would eat the speedup (the process
+    pool's reused-executor rationale, across hosts).  Each run revalidates
+    kept links with a ping and redials the ones that fail it.  Call
+    :meth:`close` (or use the backend as a context manager) to drop the
+    connections early; otherwise they die with the process.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        chunk_size: Optional[int] = None,
+        heartbeat_timeout: float = 10.0,
+        connect_timeout: float = 5.0,
+        probe_cache: bool = True,
+    ) -> None:
+        super().__init__()
+        # Deduplicate while preserving order: the same address twice is the
+        # same worker, and two driver threads must never share one socket.
+        addresses = list(dict.fromkeys(address.strip() for address in workers if address.strip()))
+        if not addresses:
+            raise ValueError("DistributedBackend needs at least one worker address")
+        for address in addresses:
+            parse_worker_address(address)  # fail fast on malformed flags
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be a positive integer")
+        self.workers = addresses
+        self.chunk_size = chunk_size
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.probe_cache = probe_cache
+        self._last_attribution: Optional[Dict[str, object]] = None
+        self._connect_failures: List[str] = []
+        #: Worker links kept open across run() calls — an experiment grid
+        #: calls run_trials once per cell, and paying TCP + handshake per
+        #: cell would eat the speedup (same rationale as the process pool's
+        #: reused executor).  Revalidated with a ping and reconnected as
+        #: needed at the start of every run.
+        self._links: Dict[str, _WorkerLink] = {}
+
+    # -- attribution ---------------------------------------------------------
+
+    def pop_last_attribution(self) -> Optional[Dict[str, object]]:
+        """The per-worker summary of the most recent ``run`` (then cleared, so
+        a caller can never attribute one cell's work to another)."""
+        attribution, self._last_attribution = self._last_attribution, None
+        return attribution
+
+    # -- execution -----------------------------------------------------------
+
+    def _connect(self) -> List[_WorkerLink]:
+        """Live links to every reachable worker: existing links revalidated
+        with a ping (a restarted or dead worker fails it and is reconnected
+        from scratch), missing ones dialled fresh."""
+        links: List[_WorkerLink] = []
+        failures: List[str] = []
+        for address in self.workers:
+            link = self._links.pop(address, None)
+            if link is not None:
+                try:
+                    link.ping()
+                except (OSError, ConnectionError, WireError):
+                    link.close()
+                    link = None
+            if link is None:
+                try:
+                    link = _WorkerLink(address, self.connect_timeout, self.heartbeat_timeout)
+                except (OSError, WireError) as exc:
+                    failures.append(f"{address}: {exc}")
+                    continue
+            self._links[address] = link
+            links.append(link)
+        if not links:
+            raise RuntimeError(
+                "no distributed worker is reachable — " + "; ".join(failures)
+            )
+        if failures:
+            # Running degraded is better than failing a long sweep, but never
+            # silently: the operator asked for a bigger cluster than they got.
+            warnings.warn(
+                f"distributed run degraded to {len(links)}/{len(self.workers)} worker(s); "
+                "unreachable: " + "; ".join(failures),
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._connect_failures = failures
+        # Queues, stats and attribution are keyed by worker_id; ids are
+        # worker-chosen (--worker-id), so collisions across links must be
+        # disambiguated or two workers would merge into one queue/row.
+        seen: Dict[str, int] = {}
+        for link in links:
+            count = seen.get(link.worker_id, 0)
+            seen[link.worker_id] = count + 1
+            if count:
+                link.worker_id = f"{link.worker_id}[{link.address}]"
+        return links
+
+    def _discard(self, link: _WorkerLink) -> None:
+        """Forget a link whose worker died; the next run redials it."""
+        self._links.pop(link.address, None)
+        link.close()
+
+    def close(self) -> None:
+        """Drop every kept worker connection (idempotent; run() redials)."""
+        for link in list(self._links.values()):
+            link.close()
+        self._links.clear()
+
+    def __enter__(self) -> "DistributedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def run(self, specs: Sequence[TrialSpec]) -> List[RunMetrics]:
+        specs = list(specs)
+        results: List[Optional[RunMetrics]] = [None] * len(specs)
+        if not specs:
+            self._last_attribution = {"backend": self.name, "workers": {}}
+            return []
+        links = self._connect()
+        stats: Dict[str, Dict[str, int]] = {
+            link.worker_id: {
+                "dispatched": 0, "stolen": 0, "redispatched": 0,
+                "trials_executed": 0, "cache_hits": 0,
+            }
+            for link in links
+        }
+        try:
+            keys = [fingerprint_trial(spec) for spec in specs]
+            if self.probe_cache:
+                self._probe_phase(links, keys, results, stats)
+            pending = [(index, spec) for index, spec in enumerate(specs) if results[index] is None]
+            self.trials_executed += len(pending)
+            if pending:
+                if not links:  # every worker fell over during the probe phase
+                    raise RuntimeError(
+                        "every distributed worker died before dispatch "
+                        f"({len(pending)} trial(s) unassigned)"
+                    )
+                self._dispatch_phase(links, pending, results, stats)
+        finally:
+            self._last_attribution = {
+                "backend": self.name,
+                "workers": stats,
+                "trials_total": len(specs),
+                "remote_cache_hits": sum(row["cache_hits"] for row in stats.values()),
+            }
+            if self._connect_failures:
+                # A degraded run must say so in its stored record, not just
+                # in a transient warning.
+                self._last_attribution["unreachable_workers"] = list(self._connect_failures)
+        missing = [index for index, value in enumerate(results) if value is None]
+        if missing:  # pragma: no cover - defended against above, belt and braces
+            raise RuntimeError(f"{len(missing)} trial(s) were never executed")
+        return results  # type: ignore[return-value]
+
+    def _probe_phase(
+        self,
+        links: List[_WorkerLink],
+        keys: Sequence[Any],
+        results: List[Optional[RunMetrics]],
+        stats: Dict[str, Dict[str, int]],
+    ) -> None:
+        """Fill result slots from any worker's warm cache before dispatching.
+
+        A link whose probe fails is removed from this run entirely (and from
+        the reuse map): after a timeout the worker's answer may still be in
+        the stream, and dispatching on a desynchronized link would misread
+        that stale frame and condemn a perfectly healthy worker."""
+        for link in list(links):
+            unresolved = {
+                keys[index].digest: index
+                for index in range(len(results))
+                if results[index] is None and keys[index].stable
+            }
+            if not unresolved:
+                return
+            try:
+                hits = link.probe(list(unresolved))
+            except (OSError, ConnectionError, WireError):
+                self._discard(link)
+                links.remove(link)
+                continue
+            for digest, entry in hits.items():
+                index = unresolved.get(digest)
+                if index is None or results[index] is not None:
+                    continue
+                if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+                    continue  # stale/incompatible cache layout: recompute instead
+                try:
+                    results[index] = RunMetrics.from_payload(entry["metrics"])
+                except (KeyError, TypeError):
+                    continue
+                stats[link.worker_id]["cache_hits"] += 1
+
+    def _dispatch_phase(
+        self,
+        links: List[_WorkerLink],
+        pending: List[Tuple[int, TrialSpec]],
+        results: List[Optional[RunMetrics]],
+        stats: Dict[str, Dict[str, int]],
+    ) -> None:
+        chunk_size = self.chunk_size or max(1, math.ceil(len(pending) / (len(links) * 4)))
+        chunks: List[_Chunk] = [
+            (chunk_id, pending[start : start + chunk_size])
+            for chunk_id, start in enumerate(range(0, len(pending), chunk_size))
+        ]
+        queues = _WorkQueues([link.worker_id for link in links])
+        for position, chunk in enumerate(chunks):
+            queues.assign(links[position % len(links)].worker_id, chunk)
+
+        errors: List[BaseException] = []
+        results_lock = threading.Lock()
+
+        def drive(link: _WorkerLink) -> None:
+            while True:
+                taken = queues.take(link.worker_id)
+                if taken is None:
+                    return
+                chunk, provenance = taken
+                chunk_id, members = chunk
+                try:
+                    metrics = link.execute(chunk_id, [spec for _, spec in members])
+                except TrialExecutionError as exc:
+                    # Deterministic failure: re-dispatching would fail again
+                    # everywhere.  Surface it and stop the whole run.
+                    with results_lock:
+                        errors.append(exc)
+                    queues.done(chunk_completed=False, chunk=chunk)
+                    queues.abort()
+                    return
+                except (OSError, ConnectionError, WireError, socket.timeout):
+                    # Dead worker (crash, kill, network): give its work back
+                    # and forget the connection so the next run redials.
+                    self._discard(link)
+                    queues.done(chunk_completed=False, chunk=chunk)
+                    queues.drop_queue(link.worker_id)
+                    return
+                except BaseException as exc:  # never strand in-flight work
+                    with results_lock:
+                        errors.append(exc)
+                    queues.done(chunk_completed=False, chunk=chunk)
+                    queues.abort()
+                    return
+                with results_lock:
+                    stats[link.worker_id]["dispatched"] += 1
+                    if provenance == "stolen":
+                        stats[link.worker_id]["stolen"] += 1
+                    elif provenance == "redispatched":
+                        stats[link.worker_id]["redispatched"] += 1
+                    stats[link.worker_id]["trials_executed"] += len(members)
+                    for (index, _), value in zip(members, metrics):
+                        results[index] = value
+                queues.done(chunk_completed=True)
+
+        threads = [threading.Thread(target=drive, args=(link,), daemon=True) for link in links]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        if queues.outstanding():
+            raise RuntimeError(
+                "every distributed worker died before the run finished "
+                f"({queues.outstanding()} chunk(s) left)"
+            )

@@ -1,0 +1,248 @@
+"""The worker daemon: executes trial chunks and answers cache probes.
+
+``repro worker serve --port P --cache-dir D`` runs one of these per host.
+A worker is deliberately dumb: it holds no view of the overall run, it just
+
+* answers ``probe`` requests from its local
+  :class:`~repro.runtime.cache.ResultCache` (this is what makes a warm cache
+  on *any* host short-circuit work cluster-wide — the coordinator probes
+  every worker before dispatching anything);
+* executes ``execute`` chunks trial by trial via the same
+  :func:`~repro.runtime.backends.execute_trial` every other backend uses
+  (the spec carries its fully-derived seed, so results are bit-identical to
+  serial execution by construction), storing each fresh result into the
+  local cache under its :func:`~repro.runtime.spec.fingerprint_trial` digest;
+* emits ``heartbeat`` frames every ``heartbeat_interval`` seconds while a
+  chunk is running, so the coordinator can tell "slow trial" from "dead
+  worker" without a side channel.
+
+The server is a thread-per-connection ``socket`` loop — trial execution is
+CPU-bound Python, so one connection (the coordinator's) does the real work
+and the others (probes, stats) are I/O-trivial.  ``crash_after_trials`` is a
+failure-injection knob for tests and the smoke script: the worker drops dead
+(closes every socket without a result frame) after executing that many
+trials, which is exactly what a SIGKILL mid-chunk looks like from the
+coordinator's side.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Dict, Optional, Union
+
+from pathlib import Path
+
+from repro.runtime.backends import execute_trial
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.runtime.distributed.wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    decode_specs,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.spec import TrialKey, fingerprint_trial
+
+
+class WorkerCrash(Exception):
+    """Raised internally when the failure-injection knob fires."""
+
+
+class WorkerServer:
+    """A single trial-execution worker listening on one TCP port."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: float = 1.0,
+        crash_after_trials: Optional[int] = None,
+    ) -> None:
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.cache = ResultCache(cache_dir)
+        self.heartbeat_interval = heartbeat_interval
+        self.crash_after_trials = crash_after_trials
+        #: Trials this worker actually simulated (cache probes never count).
+        self.trials_executed = 0
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self.worker_id = worker_id or f"{socket.gethostname()}:{self.port}"
+        self._shutdown = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()  # guards trials_executed / cache puts
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string a coordinator connects to."""
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerServer":
+        """Serve in a background thread (for tests and in-process use)."""
+        self._accept_thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` (or a ``shutdown`` message)."""
+        self._server.settimeout(0.2)  # so the loop notices the shutdown flag
+        while not self._shutdown.is_set():
+            try:
+                connection, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listening socket closed under us by stop()
+            thread = threading.Thread(target=self._serve_connection, args=(connection,), daemon=True)
+            thread.start()
+        self._server.close()
+
+    def stop(self) -> None:
+        """Stop accepting and unblock :meth:`serve_forever` (idempotent)."""
+        self._shutdown.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    # -- connection handling ---------------------------------------------------
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        write_lock = threading.Lock()  # heartbeats interleave with the result frame
+        try:
+            with connection:
+                while not self._shutdown.is_set():
+                    try:
+                        request = recv_frame(connection)
+                    except (ConnectionError, WireError, OSError):
+                        return
+                    try:
+                        if not self._dispatch(connection, write_lock, request):
+                            return
+                    except (ConnectionError, OSError):
+                        # The coordinator hung up while we were answering
+                        # (e.g. it timed us out mid-chunk and moved on) — an
+                        # expected lifecycle event, not a worker fault.
+                        return
+        except WorkerCrash:
+            # Failure injection: die without a goodbye, like a real crash.
+            self.stop()
+
+    def _dispatch(self, connection: socket.socket, write_lock: threading.Lock, request: Dict[str, Any]) -> bool:
+        """Handle one request; returns False when the connection should end."""
+        kind = request.get("type")
+        if kind == "hello":
+            from repro import __version__
+
+            send_frame(connection, {
+                "type": "hello",
+                "worker_id": self.worker_id,
+                "protocol": PROTOCOL_VERSION,
+                "version": __version__,
+                "cache_schema": CACHE_SCHEMA_VERSION,
+                # Announced so the coordinator can size its read deadline to
+                # this worker's actual pulse instead of assuming the default.
+                "heartbeat_interval": self.heartbeat_interval,
+            })
+        elif kind == "ping":
+            send_frame(connection, {"type": "pong", "worker_id": self.worker_id})
+        elif kind == "probe":
+            send_frame(connection, self._handle_probe(request))
+        elif kind == "execute":
+            self._handle_execute(connection, write_lock, request)
+        elif kind == "stats":
+            send_frame(connection, {
+                "type": "stats",
+                "worker_id": self.worker_id,
+                "trials_executed": self.trials_executed,
+                "cache_entries": len(self.cache),
+                "cache": self.cache.stats.as_dict(),
+            })
+        elif kind == "shutdown":
+            send_frame(connection, {"type": "bye", "worker_id": self.worker_id})
+            self._shutdown.set()
+            return False
+        else:
+            send_frame(connection, {"type": "error", "message": f"unknown request type {kind!r}"})
+        return True
+
+    def _handle_probe(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer ``digest → result`` for every requested digest in the cache.
+
+        Hits carry the cache schema version so the coordinator can refuse
+        entries written under an incompatible layout (the digest itself
+        already pins the package version — see ``fingerprint_trial``).
+        """
+        hits: Dict[str, Dict[str, Any]] = {}
+        for digest in request.get("digests", []):
+            metrics = self.cache.get(TrialKey(digest=str(digest), stable=True))
+            if metrics is not None:
+                hits[str(digest)] = {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "metrics": metrics.to_payload(),
+                }
+        return {"type": "probe_result", "worker_id": self.worker_id, "hits": hits}
+
+    def _handle_execute(self, connection: socket.socket, write_lock: threading.Lock, request: Dict[str, Any]) -> None:
+        """Run one chunk, heartbeating while it executes."""
+        chunk_id = request.get("chunk_id")
+        done = threading.Event()
+
+        def heartbeat() -> None:
+            while not done.wait(self.heartbeat_interval):
+                try:
+                    with write_lock:
+                        send_frame(connection, {"type": "heartbeat", "worker_id": self.worker_id})
+                except OSError:
+                    return
+
+        pulse = threading.Thread(target=heartbeat, daemon=True)
+        pulse.start()
+        try:
+            specs = decode_specs(request["specs"])
+            payloads = []
+            for spec in specs:
+                self._maybe_crash(connection)
+                metrics = execute_trial(spec)
+                with self._lock:
+                    self.trials_executed += 1
+                    self.cache.put(fingerprint_trial(spec), metrics)
+                payloads.append(metrics.to_payload())
+            response: Dict[str, Any] = {
+                "type": "result",
+                "worker_id": self.worker_id,
+                "chunk_id": chunk_id,
+                "metrics": payloads,
+            }
+        except WorkerCrash:
+            raise
+        except Exception as exc:  # deterministic simulation failure → report, don't die
+            response = {
+                "type": "error",
+                "worker_id": self.worker_id,
+                "chunk_id": chunk_id,
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            done.set()
+        pulse.join(timeout=self.heartbeat_interval * 2)
+        with write_lock:
+            send_frame(connection, response)
+
+    def _maybe_crash(self, connection: socket.socket) -> None:
+        if self.crash_after_trials is not None and self.trials_executed >= self.crash_after_trials:
+            # Slam the door: no result frame, no goodbye — the coordinator's
+            # heartbeat timeout / connection error is the only signal.
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            connection.close()
+            raise WorkerCrash()

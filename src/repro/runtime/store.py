@@ -23,20 +23,30 @@ Three kinds of records exist:
 
 Every document carries ``schema`` so future layouts can evolve; loading
 raises on an unknown schema instead of silently misreading it.  Run ids are
-monotonically increasing per store directory (single-writer by design — the
-store backs a CLI, not a database).  :mod:`repro.runtime.analytics` builds
-cross-run comparison (``diff``), aggregation (``merge``) and pruning (``gc``)
-on top of these records.
+monotonically increasing per store directory.  :mod:`repro.runtime.analytics`
+builds cross-run comparison (``diff``), aggregation (``merge``) and pruning
+(``gc``) on top of these records.
+
+Listing does not scan every document: the store maintains ``index.json``
+(run id → the summary row ``list_runs`` returns), updated on every write and
+delete and rebuilt lazily whenever it is missing or disagrees with the run
+files actually on disk — so a hand-deleted file, a crashed writer or an
+older-version store heals on the next ``list``.  All metadata writes go
+through atomic renames, and run ids are claimed with an exclusive hard link,
+so two processes recording into the same store cannot tear a document or
+silently overwrite each other's runs.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
+import tempfile
 from dataclasses import dataclass
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import AggregateMetrics, RunMetrics
 
@@ -44,6 +54,7 @@ from repro.analysis.metrics import AggregateMetrics, RunMetrics
 STORE_SCHEMA_VERSION = 1
 
 _RUN_PREFIX = "run-"
+_INDEX_NAME = "index.json"
 
 
 @dataclass(frozen=True)
@@ -75,6 +86,11 @@ class RunStore:
         # The directory is created on first write, not here: read-only
         # commands (``repro runs list``) must not litter the working tree.
         self.root = Path(root)
+        # Parsed-index memo, validated against the index file's stat token:
+        # a sweep writing hundreds of records re-parses the index zero times
+        # instead of once per write (another process's update changes the
+        # token and invalidates the memo).
+        self._index_memo: Optional[Tuple[List[int], Dict[str, Dict[str, object]]]] = None
 
     # -- writing -----------------------------------------------------------
 
@@ -88,14 +104,152 @@ class RunStore:
         return f"{_RUN_PREFIX}{highest + 1:06d}"
 
     def _write(self, payload: Dict[str, object]) -> str:
+        """Persist one document under the next free run id.
+
+        The document is staged in a temp file and *claimed* with an exclusive
+        hard link onto its final name: if another process grabbed the same id
+        between our scan and our link, the link fails and we retry with a
+        fresh scan — so concurrent writers interleave ids instead of
+        overwriting each other, and a reader never sees a half-written file.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
-        run_id = self._next_run_id()
-        payload = dict(payload, run_id=run_id, schema=STORE_SCHEMA_VERSION)
+        payload = dict(payload, schema=STORE_SCHEMA_VERSION)
         payload.setdefault("created_at", datetime.now(timezone.utc).isoformat())
-        (self.root / f"{run_id}.json").write_text(
-            json.dumps(payload, indent=2, sort_keys=True, default=str), encoding="utf-8"
-        )
+        # mkstemp, not a pid-derived name: two threads of one process must
+        # stage into different files or one could publish the other's payload.
+        descriptor, staged = tempfile.mkstemp(prefix=".staging-", suffix=".json", dir=self.root)
+        os.close(descriptor)
+        temp = Path(staged)
+        try:
+            while True:
+                run_id = self._next_run_id()
+                payload["run_id"] = run_id
+                temp.write_text(
+                    json.dumps(payload, indent=2, sort_keys=True, default=str), encoding="utf-8"
+                )
+                try:
+                    os.link(temp, self.root / f"{run_id}.json")
+                    break
+                except FileExistsError:
+                    continue  # lost the race for this id — rescan and retry
+        finally:
+            temp.unlink(missing_ok=True)
+        self._index_put(run_id, self._summarize(payload, run_id))
         return run_id
+
+    # -- index maintenance -------------------------------------------------
+
+    @staticmethod
+    def _summarize(payload: Dict[str, object], fallback_id: str) -> Dict[str, object]:
+        """The summary row ``list_runs`` returns (and ``index.json`` stores)."""
+        summary: Dict[str, object] = {
+            "run_id": payload.get("run_id", fallback_id),
+            "kind": payload.get("kind", "?"),
+            "experiment": payload.get("experiment", ""),
+            "label": payload.get("label", ""),
+            "created_at": payload.get("created_at", ""),
+        }
+        if payload.get("kind") == "trial_set":
+            aggregate = payload.get("aggregate", {})
+            trials = aggregate.get("trials", 0) if isinstance(aggregate, dict) else 0
+            summary["trials"] = trials
+            summary["success_rate"] = (
+                aggregate.get("successes", 0) / trials if trials else ""
+            )
+        elif payload.get("kind") == "bench":
+            summary["trials"] = len(payload.get("benchmarks", []))
+            summary["success_rate"] = ""
+        else:
+            summary["trials"] = len(payload.get("rows", []))
+            summary["success_rate"] = ""
+        return summary
+
+    def _index_path(self) -> Path:
+        return self.root / _INDEX_NAME
+
+    @staticmethod
+    def _stat_token(path: Path) -> Optional[List[int]]:
+        """A cheap change detector for one run file: ``[size, mtime_ns]``."""
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return [stat.st_size, stat.st_mtime_ns]
+
+    def _read_index(self) -> Optional[Dict[str, Dict[str, object]]]:
+        """The ``run id → {"stat", "summary"}`` map, or None when the index
+        is missing/corrupt/foreign.  A ``None`` summary marks a run file that
+        could not be parsed — remembered, so a permanently corrupt file does
+        not force a rebuild on every list."""
+        token = self._stat_token(self._index_path())
+        if token is None:
+            self._index_memo = None
+            return None
+        if self._index_memo is not None and self._index_memo[0] == token:
+            return dict(self._index_memo[1])
+        try:
+            payload = json.loads(self._index_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA_VERSION:
+            return None
+        runs = payload.get("runs")
+        if not isinstance(runs, dict) or not all(isinstance(entry, dict) for entry in runs.values()):
+            return None
+        self._index_memo = (token, dict(runs))
+        return dict(runs)
+
+    def _write_index(self, runs: Dict[str, Dict[str, object]]) -> None:
+        """Atomic-rename write, so a concurrent reader sees old or new index,
+        never a torn one.  (Two concurrent writers can still lose one entry
+        to a read-modify-write race; the staleness check in :meth:`list_runs`
+        detects exactly that and rebuilds, so the index self-heals.)"""
+        if not self.root.is_dir():
+            return  # never create the store root just to cache a listing
+        temp = self._index_path().with_name(f".{_INDEX_NAME}.{os.getpid()}")
+        temp.write_text(
+            json.dumps({"schema": STORE_SCHEMA_VERSION, "runs": runs}, sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(temp, self._index_path())
+        self._index_memo = (self._stat_token(self._index_path()), dict(runs))
+
+    def _index_put(self, run_id: str, summary: Optional[Dict[str, object]]) -> None:
+        runs = self._read_index()
+        if runs is None:
+            self._rebuild_index()
+            return
+        runs[run_id] = {
+            "stat": self._stat_token(self.root / f"{run_id}.json"),
+            "summary": summary,
+        }
+        self._write_index(runs)
+
+    def _index_remove(self, run_id: str) -> None:
+        runs = self._read_index()
+        if runs is None:
+            return  # next list_runs rebuilds from the files
+        runs.pop(run_id, None)
+        self._write_index(runs)
+
+    def _rebuild_index(self) -> Dict[str, Dict[str, object]]:
+        """Re-derive the index by scanning every run document (the slow path
+        the index exists to avoid; taken only when missing or stale)."""
+        runs: Dict[str, Dict[str, object]] = {}
+        for path in sorted(self.root.glob(f"{_RUN_PREFIX}*.json")):
+            token = self._stat_token(path)  # before the read: a racing write
+            # makes the token stale, which the next list detects and heals
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                runs[path.stem] = {"stat": token, "summary": None}
+                continue
+            if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA_VERSION:
+                runs[path.stem] = {"stat": token, "summary": None}
+                continue
+            runs[path.stem] = {"stat": token, "summary": self._summarize(payload, path.stem)}
+        self._write_index(runs)
+        return runs
 
     def record_trial_set(
         self,
@@ -106,12 +260,15 @@ class RunStore:
         parameters: Optional[Dict[str, object]] = None,
         wall_clock_seconds: Optional[float] = None,
         cached_trials: Optional[int] = None,
+        worker_attribution: Optional[Dict[str, object]] = None,
     ) -> str:
         """Persist one experimental cell; returns the new run id.
 
         ``cached_trials`` records how many of the trials were served from the
         result cache — analytics treat the wall clock of a partially-cached
-        run as informative only.
+        run as informative only.  ``worker_attribution`` is the per-worker
+        summary of a distributed run (who executed / stole / re-ran what);
+        purely informative, so analytics and diffing ignore it.
         """
         payload: Dict[str, object] = {
             "kind": "trial_set",
@@ -125,6 +282,8 @@ class RunStore:
             payload["wall_clock_seconds"] = wall_clock_seconds
         if cached_trials is not None:
             payload["cached_trials"] = cached_trials
+        if worker_attribution is not None:
+            payload["workers"] = worker_attribution
         return self._write(payload)
 
     def record_bench(
@@ -207,37 +366,26 @@ class RunStore:
         )
 
     def list_runs(self) -> List[Dict[str, object]]:
-        """One summary row per stored run, ordered by run id."""
-        summaries: List[Dict[str, object]] = []
-        for path in sorted(self.root.glob(f"{_RUN_PREFIX}*.json")):
-            try:
-                payload = json.loads(path.read_text(encoding="utf-8"))
-            except ValueError:
-                continue
-            if payload.get("schema") != STORE_SCHEMA_VERSION:
-                continue
-            summary: Dict[str, object] = {
-                "run_id": payload.get("run_id", path.stem),
-                "kind": payload.get("kind", "?"),
-                "experiment": payload.get("experiment", ""),
-                "label": payload.get("label", ""),
-                "created_at": payload.get("created_at", ""),
-            }
-            if payload.get("kind") == "trial_set":
-                aggregate = payload.get("aggregate", {})
-                trials = aggregate.get("trials", 0)
-                summary["trials"] = trials
-                summary["success_rate"] = (
-                    aggregate.get("successes", 0) / trials if trials else ""
-                )
-            elif payload.get("kind") == "bench":
-                summary["trials"] = len(payload.get("benchmarks", []))
-                summary["success_rate"] = ""
-            else:
-                summary["trials"] = len(payload.get("rows", []))
-                summary["success_rate"] = ""
-            summaries.append(summary)
-        return summaries
+        """One summary row per stored run, ordered by run id.
+
+        Served from ``index.json`` when it agrees with the run files on disk
+        (a per-file ``[size, mtime]`` comparison — documents are stat'ed,
+        never opened); any disagreement (hand-added/-deleted/-edited files, a
+        lost index race, an index written by an incompatible version)
+        triggers a full rebuild."""
+        on_disk = {
+            path.stem: self._stat_token(path)
+            for path in self.root.glob(f"{_RUN_PREFIX}*.json")
+        }
+        runs = self._read_index()
+        if runs is None or {run_id: entry.get("stat") for run_id, entry in runs.items()} != on_disk:
+            runs = self._rebuild_index()
+        return [
+            # Copies, so a caller mutating a row can never corrupt the memo.
+            dict(entry["summary"])
+            for _, entry in sorted(runs.items())
+            if entry.get("summary") is not None
+        ]
 
     def resolve(
         self,
@@ -274,6 +422,7 @@ class RunStore:
         if not path.exists():
             raise KeyError(f"no run {run_id!r} in {self.root}")
         path.unlink()
+        self._index_remove(run_id)
 
     def query(
         self,

@@ -4,6 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "distributed_smoke: end-to-end distributed smoke gate (subprocess workers); "
+        "opt in with REPRO_SMOKE_DISTRIBUTED=1",
+    )
+
 from repro.network.graph import Graph
 from repro.network.topologies import complete_topology, grid_topology, line_topology, ring_topology, star_topology
 from repro.protocols.aggregation import AggregationProtocol

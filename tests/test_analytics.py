@@ -503,3 +503,89 @@ class TestRunsCliAnalytics:
         assert main(["runs", "show", run_id, "--store-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "benchmark session" in out and "bench_x" in out
+
+
+class _FakeReport:
+    """Duck-typed stand-in for ExperimentReport (record_report only needs
+    experiment/rows/parameters/generated_at)."""
+
+    def __init__(self, rows, experiment="table1"):
+        self.experiment = experiment
+        self.rows = rows
+        self.parameters = {"seed": 0}
+        self.generated_at = "2026-07-30T00:00:00+00:00"
+
+
+def _table1_row(topology="line", success_rate=1.0, rate=0.5, kind="measured"):
+    return {
+        "scheme": "algorithm_a",
+        "topology": topology,
+        "kind": kind,
+        "success_rate": success_rate,
+        "rate": rate,
+    }
+
+
+class TestReportDiff:
+    """Report records diff per-row, keyed on the identity (string) columns."""
+
+    def test_identical_reports_have_no_regressions(self, tmp_path):
+        store = RunStore(tmp_path)
+        rows = [_table1_row("line"), _table1_row("star")]
+        a = store.record_report(_FakeReport(rows))
+        b = store.record_report(_FakeReport(rows))
+        diff = diff_runs(store.load(a), store.load(b))
+        assert diff.kind == "report"
+        assert diff.rows and not diff.has_regression
+
+    def test_success_rate_drop_in_one_row_gates(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = store.record_report(_FakeReport([_table1_row("line"), _table1_row("star")]))
+        b = store.record_report(
+            _FakeReport([_table1_row("line", success_rate=0.5), _table1_row("star")])
+        )
+        diff = diff_runs(store.load(a), store.load(b))
+        assert diff.has_regression
+        regressed = diff.regressions
+        assert len(regressed) == 1
+        assert "topology=line" in regressed[0].cell
+        assert regressed[0].metric == "success_rate"
+
+    def test_rows_present_on_one_side_only_never_gate(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = store.record_report(_FakeReport([_table1_row("line"), _table1_row("star")]))
+        b = store.record_report(_FakeReport([_table1_row("line")]))
+        diff = diff_runs(store.load(a), store.load(b))
+        assert not diff.has_regression
+        assert any(row.status == "only-baseline" for row in diff.rows)
+
+    def test_identity_collisions_fall_back_to_row_position(self, tmp_path):
+        store = RunStore(tmp_path)
+        rows = [_table1_row("line"), _table1_row("line")]  # same identity twice
+        a = store.record_report(_FakeReport(rows))
+        b = store.record_report(_FakeReport(rows))
+        diff = diff_runs(store.load(a), store.load(b))
+        cells = {row.cell for row in diff.rows}
+        assert len(cells) == 2  # both rows survived as distinct cells
+        assert not diff.has_regression
+
+    def test_report_against_trial_set_is_refused(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = store.record_report(_FakeReport([_table1_row()]))
+        b = _record_cell(store)
+        with pytest.raises(ValueError):
+            diff_runs(store.load(a), store.load(b))
+
+    def test_cli_diffs_reports_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = RunStore(tmp_path)
+        store.record_report(_FakeReport([_table1_row()]))
+        store.record_report(_FakeReport([_table1_row(success_rate=0.0)]))
+        code = main([
+            "runs", "diff", "latest~1", "latest",
+            "--kind", "report", "--store-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSION" in out

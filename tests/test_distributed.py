@@ -1,0 +1,437 @@
+"""Tests for the distributed runtime: wire format, worker, coordinator.
+
+The acceptance criteria of the subsystem are pinned here:
+
+1. ``DistributedBackend`` is **bit-identical** to ``SerialBackend`` — with
+   one worker or many, on a plain trial set and on a full noise-sweep cell;
+2. a pre-warmed cache on *any* worker short-circuits work cluster-wide
+   (zero executed trials on the second run);
+3. a worker killed mid-chunk has its work re-dispatched to the survivors
+   without duplicating a single seed, and the run still completes;
+4. probe hits written under a stale cache-schema version are ignored;
+5. per-worker attribution lands in the run store without disturbing the
+   existing analytics (``runs diff`` keeps working on distributed records).
+
+All workers run in-process (``WorkerServer.start()`` serves from a daemon
+thread on an OS-assigned localhost port); the subprocess path is covered by
+``scripts/smoke_distributed.sh`` (opt-in, see ``TestSmokeScript``).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.core.parameters import algorithm_a
+from repro.experiments.factories import RandomNoiseFactory
+from repro.experiments.harness import run_trials
+from repro.experiments.noise_sweep import noise_sweep
+from repro.experiments.workloads import gossip_workload
+from repro.runtime import (
+    DistributedBackend,
+    ResultCache,
+    RunStore,
+    SerialBackend,
+    WorkerServer,
+    diff_runs,
+    use_runtime,
+)
+from repro.runtime.cache import CACHE_SCHEMA_VERSION
+from repro.runtime.distributed.coordinator import parse_worker_address
+from repro.runtime.distributed.wire import (
+    PROTOCOL_VERSION,
+    WireError,
+    recv_frame,
+    send_frame,
+)
+from repro.runtime.spec import build_trial_specs, derive_trial_seed
+
+
+def _cell():
+    """One standard experimental cell used throughout this module."""
+    workload = gossip_workload(topology="line", num_nodes=5, phases=6)
+    return workload, algorithm_a(), RandomNoiseFactory(fraction=0.004)
+
+
+def _run(backend, trials=6, cache=None, **kwargs):
+    workload, scheme, factory = _cell()
+    return run_trials(
+        workload, scheme, adversary_factory=factory, trials=trials, base_seed=3,
+        backend=backend, cache=cache, **kwargs,
+    )
+
+
+@pytest.fixture
+def worker():
+    server = WorkerServer().start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def worker_pair():
+    servers = [WorkerServer().start(), WorkerServer().start()]
+    yield servers
+    for server in servers:
+        server.stop()
+
+
+class TestWireFormat:
+    def test_frame_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"type": "probe", "digests": ["a" * 64], "nested": {"x": [1, 2.5, None]}}
+            send_frame(a, message)
+            assert recv_frame(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_announced_frame_is_refused(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall((2**31 - 1).to_bytes(4, "big"))
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_message_payload_is_refused(self):
+        a, b = socket.socketpair()
+        try:
+            payload = b"[1, 2, 3]"
+            a.sendall(len(payload).to_bytes(4, "big") + payload)
+            with pytest.raises(WireError):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    @pytest.mark.parametrize("bad", ["nohost", ":123", "host:", "host:notaport", "host:0", "host:70000"])
+    def test_malformed_worker_addresses_are_refused(self, bad):
+        with pytest.raises(ValueError):
+            parse_worker_address(bad)
+        with pytest.raises(ValueError):
+            DistributedBackend([bad])
+
+    def test_backend_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            DistributedBackend([])
+
+    def test_duplicate_worker_addresses_are_deduplicated(self, worker):
+        """The same address twice is the same worker — two driver threads
+        must never end up sharing one socket."""
+        backend = DistributedBackend([worker.address, worker.address, worker.address])
+        assert backend.workers == [worker.address]
+        result = _run(backend)
+        assert result.runs == _run(SerialBackend()).runs
+
+
+class TestDistributedDeterminism:
+    def test_single_worker_matches_serial_on_a_full_noise_sweep_cell(self, worker):
+        """The satellite criterion: one local worker, a whole sweep cell,
+        bit-identical points."""
+        workload, scheme, _ = _cell()
+        serial_points = noise_sweep(workload, scheme, multipliers=(0.5, 4.0), trials=2)
+        with use_runtime(backend=DistributedBackend([worker.address]), cache=None):
+            distributed_points = noise_sweep(workload, scheme, multipliers=(0.5, 4.0), trials=2)
+        assert distributed_points == serial_points
+
+    def test_two_workers_match_serial_bit_for_bit(self, worker_pair):
+        serial = _run(SerialBackend())
+        backend = DistributedBackend([w.address for w in worker_pair], chunk_size=2)
+        distributed = _run(backend)
+        assert distributed.runs == serial.runs
+        assert distributed.aggregate == serial.aggregate
+        assert backend.trials_executed == 6
+        # Both workers really participated (3 chunks round-robined over 2).
+        assert sum(w.trials_executed for w in worker_pair) == 6
+        assert all(w.trials_executed > 0 for w in worker_pair)
+
+    def test_worker_links_are_reused_across_runs(self, worker):
+        """An experiment grid runs many cells; the TCP connection and
+        handshake are paid once, not once per cell."""
+        backend = DistributedBackend([worker.address])
+        first = _run(backend)
+        link = backend._links[worker.address]
+        second = _run(backend)
+        assert backend._links[worker.address] is link
+        assert second.runs == first.runs
+        backend.close()
+        assert backend._links == {}
+
+    def test_version_mismatched_worker_is_refused(self):
+        class LyingWorker(WorkerServer):
+            def _dispatch(self, connection, write_lock, request):
+                if request.get("type") == "hello":
+                    send_frame(connection, {
+                        "type": "hello", "worker_id": self.worker_id,
+                        "protocol": PROTOCOL_VERSION, "version": "0.0.0-not-ours",
+                        "cache_schema": CACHE_SCHEMA_VERSION,
+                    })
+                    return True
+                return super()._dispatch(connection, write_lock, request)
+
+        server = LyingWorker().start()
+        try:
+            with pytest.raises(RuntimeError, match="version"):
+                _run(DistributedBackend([server.address]), trials=1)
+        finally:
+            server.stop()
+
+
+class TestClusterCacheReuse:
+    def test_prewarmed_remote_cache_short_circuits_the_whole_run(self, tmp_path):
+        """Acceptance criterion: second run executes zero trials anywhere."""
+        warm = WorkerServer(cache_dir=tmp_path / "warm-cache").start()
+        try:
+            first_backend = DistributedBackend([warm.address])
+            first = _run(first_backend)
+            executed_after_first = warm.trials_executed
+            assert executed_after_first == 6
+
+            # Drive the backend directly for the second run so the
+            # attribution is still ours to pop (run_trials pops it itself).
+            workload, scheme, factory = _cell()
+            seeds = [derive_trial_seed(3, trial) for trial in range(6)]
+            specs = build_trial_specs(workload, scheme, factory, seeds)
+            second_backend = DistributedBackend([warm.address])
+            second = second_backend.run(specs)
+            assert second == first.runs
+            assert warm.trials_executed == executed_after_first  # nothing re-ran
+            assert second_backend.trials_executed == 0           # nothing dispatched
+            attribution = second_backend.pop_last_attribution()
+            assert attribution["remote_cache_hits"] == 6
+        finally:
+            warm.stop()
+
+    def test_one_warm_worker_short_circuits_for_cold_workers_too(self, tmp_path):
+        """Cross-host reuse: a cold worker never executes what a warm worker
+        already knows."""
+        cache_dir = tmp_path / "shared-cache"
+        warm = WorkerServer(cache_dir=cache_dir).start()
+        try:
+            _run(DistributedBackend([warm.address]))  # warm it up
+        finally:
+            pass
+        cold = WorkerServer().start()
+        try:
+            backend = DistributedBackend([warm.address, cold.address])
+            result = _run(backend)
+            assert cold.trials_executed == 0
+            assert backend.trials_executed == 0
+            assert result.runs == _run(SerialBackend()).runs
+        finally:
+            warm.stop()
+            cold.stop()
+
+    def test_stale_cache_schema_probe_hits_are_ignored(self):
+        """A worker whose cache speaks an incompatible layout must be treated
+        as cold: recompute, never deserialize its entries."""
+
+        class StaleSchemaWorker(WorkerServer):
+            def _handle_probe(self, request):
+                response = super()._handle_probe(request)
+                for entry in response["hits"].values():
+                    entry["schema"] = 999
+                return response
+
+        server = StaleSchemaWorker().start()
+        try:
+            backend = DistributedBackend([server.address])
+            first = _run(backend)
+            assert server.trials_executed == 6
+            # The worker's cache is warm, but its probe answers are stale →
+            # every trial is executed again instead of trusted.
+            second_backend = DistributedBackend([server.address])
+            second = _run(second_backend)
+            assert server.trials_executed == 12
+            assert second_backend.trials_executed == 6
+            assert second.runs == first.runs
+        finally:
+            server.stop()
+
+    def test_unpicklable_specs_fail_with_a_clear_error(self, worker):
+        """Lambdas cannot cross the wire; the error must say so instead of
+        masquerading as a dead worker."""
+        from repro.runtime import TrialExecutionError
+
+        workload, scheme, _ = _cell()
+        factory = lambda seed: RandomNoiseFactory(fraction=0.004)(seed)  # noqa: E731
+        specs = build_trial_specs(workload, scheme, factory, [derive_trial_seed(3, 0)])
+        backend = DistributedBackend([worker.address])
+        with pytest.raises(TrialExecutionError, match="picklable"):
+            backend.run(specs)
+        assert worker.trials_executed == 0
+        assert len(worker.cache) == 0
+
+
+class TestFailureHandling:
+    def test_worker_killed_mid_chunk_redispatches_without_duplicating_seeds(self):
+        """Acceptance criterion: kill one worker mid-run, the sweep still
+        completes and every seed's result appears exactly once."""
+        workload, scheme, factory = _cell()
+        seeds = [derive_trial_seed(3, trial) for trial in range(6)]
+        specs = build_trial_specs(workload, scheme, factory, seeds)
+        serial = SerialBackend().run(specs)
+        crasher = WorkerServer(crash_after_trials=1).start()
+        survivor = WorkerServer().start()
+        try:
+            backend = DistributedBackend(
+                [crasher.address, survivor.address], chunk_size=2, heartbeat_timeout=30.0,
+            )
+            distributed = backend.run(specs)
+            # Bit-identical to serial ⇒ exactly one result per seed, in order,
+            # even though the crasher double-started one chunk.
+            assert distributed == serial
+            attribution = backend.pop_last_attribution()
+            survivor_stats = attribution["workers"][survivor.worker_id]
+            assert survivor_stats["redispatched"] >= 1
+            assert survivor_stats["trials_executed"] == 6
+        finally:
+            survivor.stop()
+            crasher.stop()
+
+    def test_unreachable_workers_raise(self):
+        backend = DistributedBackend(["127.0.0.1:9"])  # discard port: nothing listens
+        with pytest.raises(RuntimeError, match="reachable"):
+            _run(backend, trials=1)
+
+    def test_all_workers_dying_raises_instead_of_hanging(self):
+        crasher = WorkerServer(crash_after_trials=0).start()
+        try:
+            backend = DistributedBackend([crasher.address], heartbeat_timeout=30.0)
+            with pytest.raises(RuntimeError, match="died"):
+                _run(backend, trials=2)
+        finally:
+            crasher.stop()
+
+    def test_empty_spec_list_is_a_no_op_without_connecting(self):
+        backend = DistributedBackend(["127.0.0.1:9"])
+        assert backend.run([]) == []
+
+    def test_degraded_cluster_warns_and_records_the_unreachable_worker(self, worker):
+        """Half-missing clusters run degraded, but never silently."""
+        workload, scheme, factory = _cell()
+        seeds = [derive_trial_seed(3, trial) for trial in range(4)]
+        specs = build_trial_specs(workload, scheme, factory, seeds)
+        backend = DistributedBackend([worker.address, "127.0.0.1:9"])
+        with pytest.warns(RuntimeWarning, match="degraded to 1/2"):
+            result = backend.run(specs)
+        assert result == SerialBackend().run(specs)
+        attribution = backend.pop_last_attribution()
+        assert len(attribution["unreachable_workers"]) == 1
+        assert "127.0.0.1:9" in attribution["unreachable_workers"][0]
+
+    def test_colliding_worker_ids_are_disambiguated(self):
+        """Two daemons started with the same --worker-id must not merge into
+        one queue/attribution row."""
+        twin_a = WorkerServer(worker_id="node").start()
+        twin_b = WorkerServer(worker_id="node").start()
+        try:
+            workload, scheme, factory = _cell()
+            seeds = [derive_trial_seed(3, trial) for trial in range(6)]
+            specs = build_trial_specs(workload, scheme, factory, seeds)
+            backend = DistributedBackend([twin_a.address, twin_b.address], chunk_size=2)
+            result = backend.run(specs)
+            assert result == SerialBackend().run(specs)
+            attribution = backend.pop_last_attribution()
+            workers = attribution["workers"]
+            assert len(workers) == 2
+            assert sum(stats["trials_executed"] for stats in workers.values()) == 6
+        finally:
+            twin_a.stop()
+            twin_b.stop()
+
+
+class TestAttributionInRunStore:
+    def test_distributed_run_records_attribution_and_still_diffs(self, tmp_path, worker_pair):
+        store = RunStore(tmp_path)
+        addresses = [w.address for w in worker_pair]
+        _run(DistributedBackend(addresses, chunk_size=2), store=store)
+        _run(DistributedBackend(addresses, chunk_size=2), store=store)
+
+        first, second = (store.load(row["run_id"]) for row in store.list_runs())
+        workers = first["workers"]["workers"]
+        assert set(workers) == {w.worker_id for w in worker_pair}
+        assert sum(stats["trials_executed"] for stats in workers.values()) == 6
+        assert all(
+            {"dispatched", "stolen", "redispatched"} <= set(stats) for stats in workers.values()
+        )
+        # The second run hit the workers' in-memory caches instead of executing.
+        assert second["workers"]["remote_cache_hits"] == 6
+
+        # Analytics neither choke on nor gate on the attribution payload.
+        diff = diff_runs(first, second)
+        assert not any(row.status == "regression" for row in diff.rows if row.metric == "success_rate")
+
+    def test_serial_runs_record_no_attribution(self, tmp_path):
+        store = RunStore(tmp_path)
+        _run(SerialBackend(), store=store)
+        payload = store.load(store.list_runs()[0]["run_id"])
+        assert "workers" not in payload
+
+    def test_failed_run_leftover_attribution_is_not_inherited(self, tmp_path):
+        """A run that raises never reaches the attribution pop; the next cell
+        — even one fully served from the local cache, where the backend is
+        never invoked — must not record the leftovers as its own."""
+        backend = DistributedBackend(["127.0.0.1:9"])
+        backend._last_attribution = {  # what a crashed run leaves behind
+            "backend": "distributed", "workers": {}, "trials_total": 6, "remote_cache_hits": 6,
+        }
+        cache = ResultCache()
+        _run(SerialBackend(), cache=cache)  # warm the local cache
+        store = RunStore(tmp_path)
+        trial_set = _run(backend, cache=cache, store=store)  # fully cache-served
+        assert backend.trials_executed == 0
+        payload = store.load(store.list_runs()[0]["run_id"])
+        assert "workers" not in payload
+        assert payload["cached_trials"] == len(trial_set.runs)
+
+
+class TestCliIntegration:
+    def test_noise_sweep_backend_distributed_matches_serial(self, worker_pair, capsys):
+        from repro.cli import main
+
+        args = ["noise-sweep", "--topology", "line", "--nodes", "4", "--phases", "4",
+                "--multipliers", "0.5", "4.0", "--trials", "2", "--seed", "3", "--no-cache"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        workers = ",".join(w.address for w in worker_pair)
+        assert main(args + ["--backend", "distributed", "--workers", workers]) == 0
+        distributed_out = capsys.readouterr().out
+        assert distributed_out == serial_out
+
+    def test_backend_distributed_without_workers_fails_friendly(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["noise-sweep", "--backend", "distributed"])
+        assert excinfo.value.code == 1
+        assert "--workers" in capsys.readouterr().err
+
+
+@pytest.mark.distributed_smoke
+class TestSmokeScript:
+    """Opt-in end-to-end gate: real subprocess workers, the real CLI.
+
+    Activate with ``REPRO_SMOKE_DISTRIBUTED=1 python -m pytest -m
+    distributed_smoke``; skipped (not failed) otherwise so the default
+    tier-1 run stays hermetic and fast.
+    """
+
+    def test_smoke_script_passes(self):
+        if os.environ.get("REPRO_SMOKE_DISTRIBUTED", "") not in ("1", "true", "yes"):
+            pytest.skip("set REPRO_SMOKE_DISTRIBUTED=1 to run the distributed smoke test")
+        script = Path(__file__).resolve().parent.parent / "scripts" / "smoke_distributed.sh"
+        completed = subprocess.run(
+            ["bash", str(script)], capture_output=True, text=True, timeout=600,
+        )
+        assert completed.returncode == 0, (
+            f"smoke script failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+        )

@@ -353,3 +353,146 @@ class TestRunsCli:
         assert "seed: 9" in capsys.readouterr().out
         assert main(["ablations", "--which", "chunk_size", "--trials", "1", "--seed", "4"]) == 0
         assert "seed: 4" in capsys.readouterr().out
+
+
+class TestRunStoreIndex:
+    """list/resolve are served from index.json; the index heals itself."""
+
+    def _store_with_runs(self, tmp_path, count=3):
+        store = RunStore(tmp_path)
+        workload = pairwise_workload()
+        for _ in range(count):
+            run_trials(workload, crs_oblivious_scheme(), trials=1, cache=None, store=store)
+        return store
+
+    def test_index_file_is_maintained_on_write(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=2)
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index["schema"] == 1
+        assert set(index["runs"]) == {row["run_id"] for row in store.list_runs()}
+
+    def test_listing_is_served_from_the_index_without_reading_documents(self, tmp_path):
+        """With a fresh index, list_runs stats the run files but never parses
+        them — proven by replacing every document with same-sized garbage
+        (mtime restored) and still getting the indexed summaries back."""
+        import os
+
+        store = self._store_with_runs(tmp_path, count=2)
+        expected = store.list_runs()
+        for path in tmp_path.glob("run-*.json"):
+            stat = path.stat()
+            path.write_bytes(b"#" * stat.st_size)  # same size, unparseable
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        assert store.list_runs() == expected
+
+    def test_hand_deleted_run_file_heals_on_next_list(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=3)
+        victim = store.list_runs()[0]["run_id"]
+        (tmp_path / f"{victim}.json").unlink()  # behind the store's back
+        listed = {row["run_id"] for row in store.list_runs()}
+        assert victim not in listed
+        assert len(listed) == 2
+
+    def test_hand_edited_run_file_heals_on_next_list(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=2)
+        target = store.list_runs()[0]["run_id"]
+        path = tmp_path / f"{target}.json"
+        payload = json.loads(path.read_text())
+        payload["label"] = "edited-behind-the-stores-back"
+        path.write_text(json.dumps(payload))
+        labels = {row["run_id"]: row["label"] for row in store.list_runs()}
+        assert labels[target] == "edited-behind-the-stores-back"
+
+    def test_deleted_index_is_rebuilt(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=2)
+        before = store.list_runs()
+        (tmp_path / "index.json").unlink()
+        assert store.list_runs() == before
+        assert (tmp_path / "index.json").exists()
+
+    def test_corrupt_index_is_rebuilt(self, tmp_path):
+        store = self._store_with_runs(tmp_path, count=2)
+        before = store.list_runs()
+        (tmp_path / "index.json").write_text("} definitely not json {")
+        assert store.list_runs() == before
+
+    def test_concurrent_writers_never_overwrite_each_other(self, tmp_path):
+        """Two store handles on the same directory interleave run ids instead
+        of clobbering (the exclusive hard-link claim)."""
+        first, second = RunStore(tmp_path), RunStore(tmp_path)
+        workload = pairwise_workload()
+        ids = []
+        for store in (first, second, first, second):
+            run_trials(workload, crs_oblivious_scheme(), trials=1, cache=None, store=store)
+            ids.append(store.list_runs()[-1]["run_id"])
+        assert len(set(ids)) == 4
+        assert {row["run_id"] for row in first.list_runs()} == set(ids)
+
+    def test_listing_a_nonexistent_store_creates_nothing(self, tmp_path):
+        root = tmp_path / "never-created"
+        assert RunStore(root).list_runs() == []
+        assert not root.exists()
+
+
+class TestCacheCompaction:
+    def _warm_disk_cache(self, tmp_path, trials=3):
+        workload = gossip_workload(topology="line", num_nodes=4, phases=6)
+        run_trials(workload, algorithm_a(), adversary_factory=RandomNoiseFactory(0.004),
+                   trials=trials, cache=ResultCache(tmp_path))
+        return tmp_path / "trials.jsonl"
+
+    def test_compact_folds_duplicate_keys_to_the_latest_line(self, tmp_path):
+        path = self._warm_disk_cache(tmp_path)
+        original_lines = path.read_text().strip().splitlines()
+        # Re-append every line (simulating re-stores of the same keys) …
+        with path.open("a") as handle:
+            for line in original_lines:
+                handle.write(line + "\n")
+        cache = ResultCache(tmp_path)
+        result = cache.compact()
+        assert result["kept"] == len(original_lines)
+        assert result["dropped_superseded"] == len(original_lines)
+        assert result["dropped_invalid"] == 0
+        # … and the compacted file still serves every trial.
+        assert len(ResultCache(tmp_path)) == len(original_lines)
+
+    def test_compact_drops_version_mismatched_and_corrupt_lines(self, tmp_path):
+        path = self._warm_disk_cache(tmp_path)
+        keep = len(path.read_text().strip().splitlines())
+        with path.open("a") as handle:
+            handle.write('{"schema": 999, "key": "stale", "metrics": {}}\n')
+            handle.write("not json at all\n")
+        result = ResultCache(tmp_path).compact()
+        assert result["kept"] == keep
+        assert result["dropped_invalid"] == 2
+        reloaded = ResultCache(tmp_path)
+        assert len(reloaded) == keep
+
+    def test_compact_treats_a_truncated_final_line_as_invalid(self, tmp_path):
+        """A crash mid-append leaves a final line without its newline; compact
+        drops it (exactly what load() would do) without touching valid lines."""
+        path = self._warm_disk_cache(tmp_path)
+        keep = len(path.read_text().strip().splitlines())
+        with path.open("a") as handle:
+            handle.write('{"schema": 1, "key": "trunc')  # no newline, no close
+        result = ResultCache(tmp_path).compact()
+        assert result["kept"] == keep
+        assert result["dropped_invalid"] == 1
+        assert len(ResultCache(tmp_path)) == keep
+
+    def test_compact_requires_a_disk_backed_cache(self):
+        with pytest.raises(ValueError):
+            ResultCache().compact()
+
+    def test_compact_of_an_empty_cache_is_a_no_op(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache._path.unlink(missing_ok=True)
+        result = cache.compact()
+        assert result == {"kept": 0, "dropped_superseded": 0, "dropped_invalid": 0}
+
+    def test_cli_cache_compact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._warm_disk_cache(tmp_path)
+        assert main(["cache", "compact", "--cache-dir", str(tmp_path)]) == 0
+        assert "compacted" in capsys.readouterr().out
