@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""cProfile one representative scheme trial and print the hottest frames.
+
+The tool every perf-minded PR should reach for first: it runs a single
+noise-resilient simulation (the same shape as one noise-sweep-cell trial —
+gossip workload, scheme preset, stochastic insertion/deletion/substitution
+noise at a multiple of the nominal fraction) under ``cProfile`` and prints
+the top cumulative frames, so "where does simulation time go now?" has a
+one-command answer::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py
+    PYTHONPATH=src python scripts/profile_hotpath.py --topology clique --nodes 8 --sort tottime
+    PYTHONPATH=src python scripts/profile_hotpath.py --per-slot   # the legacy transport path
+
+``--per-slot`` routes the trial through the single-slot compatibility
+transport instead of the batched one — diffing the two profiles shows
+exactly what the batched window path removed (and whether a regression crept
+back in).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.engine import InteractiveCodingSimulator  # noqa: E402
+from repro.core.parameters import (  # noqa: E402
+    algorithm_a,
+    algorithm_b,
+    algorithm_c,
+    crs_oblivious_scheme,
+)
+from repro.experiments.factories import RandomNoiseFactory  # noqa: E402
+from repro.experiments.workloads import gossip_workload  # noqa: E402
+
+SCHEMES = {
+    "crs": crs_oblivious_scheme,
+    "algorithm_a": algorithm_a,
+    "algorithm_b": algorithm_b,
+    "algorithm_c": algorithm_c,
+}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scheme", choices=sorted(SCHEMES), default="crs")
+    parser.add_argument("--topology", default="clique", help="workload topology (default: clique)")
+    parser.add_argument("--nodes", type=int, default=8, help="number of parties (default: 8)")
+    parser.add_argument("--phases", type=int, default=6, help="gossip phases (default: 6)")
+    parser.add_argument(
+        "--noise-multiplier",
+        type=float,
+        default=1.0,
+        help="noise level as a multiple of the scheme's nominal fraction (default: 1.0)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trial seed (default: 0)")
+    parser.add_argument("--top", type=int, default=25, help="frames to print (default: 25)")
+    parser.add_argument(
+        "--sort",
+        choices=["cumulative", "tottime", "ncalls"],
+        default="cumulative",
+        help="pstats sort key (default: cumulative)",
+    )
+    parser.add_argument(
+        "--per-slot",
+        action="store_true",
+        help="profile the single-slot compatibility transport instead of the batched path",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    workload = gossip_workload(
+        topology=args.topology, num_nodes=args.nodes, phases=args.phases, seed=0
+    )
+    scheme = SCHEMES[args.scheme]()
+    fraction = scheme.nominal_noise_fraction(workload.graph) * args.noise_multiplier
+    adversary = RandomNoiseFactory(fraction=fraction)(args.seed)
+    simulator = InteractiveCodingSimulator(
+        workload.protocol, scheme=scheme, adversary=adversary, seed=args.seed
+    )
+    simulator.network.batched = not args.per_slot
+
+    profile = cProfile.Profile()
+    profile.enable()
+    result = simulator.run()
+    profile.disable()
+
+    path = "per-slot" if args.per_slot else "batched"
+    print(
+        f"trial: {workload.name} / {scheme.name} / noise x{args.noise_multiplier:g} "
+        f"(fraction {fraction:.5f}) / seed {args.seed} / {path} transport"
+    )
+    print(
+        f"success={result.success} iterations={result.iterations_run} "
+        f"communication={result.metrics.simulation_communication} bits "
+        f"corruptions={result.metrics.corruptions}"
+    )
+    print()
+    buffer = io.StringIO()
+    pstats.Stats(profile, stream=buffer).sort_stats(args.sort).print_stats(args.top)
+    print(buffer.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

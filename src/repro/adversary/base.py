@@ -8,11 +8,16 @@ The paper distinguishes:
 * **non-oblivious** adversaries — the noise may adapt to everything observed
   on the wire (but not to private coins tossed later).
 
-All of them implement :class:`Adversary`: the noisy transport consults the
-adversary once per channel slot (one round, one directed link) and the
-adversary returns what the receiver should see.  Corruption accounting is
-done by the transport, not by the adversary, so an adversary cannot
-under-report its own noise.
+All of them implement :class:`Adversary`.  The single-slot contract is
+``corrupt``: the transport consults the adversary for one channel slot (one
+round, one directed link) and the adversary returns what the receiver should
+see.  The batched hot path is ``corrupt_window``: the transport hands the
+adversary one whole window of slots on one directed link and gets the full
+delivered sequence back.  The base implementation of ``corrupt_window``
+falls back to per-slot ``corrupt`` calls, and every override is required to
+be bit-identical to that fallback.  Corruption accounting is done by the
+transport, not by the adversary, so an adversary cannot under-report its own
+noise.
 
 The theorems bound the noise as a *fraction of the actual communication* of
 the executed instance, which is not known in advance.  :class:`NoiseBudget`
@@ -26,9 +31,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence
 
-from repro.network.channel import Symbol, TransmissionContext
+from repro.network.channel import Symbol, TransmissionContext, WindowContext
 
 
 @dataclass
@@ -53,10 +58,33 @@ class NoiseBudget:
         """Record that one symbol was actually transmitted."""
         self.transmissions_seen += 1
 
+    def observe_transmissions(self, count: int) -> None:
+        """Bulk path: record ``count`` transmissions in one update.
+
+        Equivalent to ``count`` calls to :meth:`observe_transmission`.  Batch
+        adversaries use it when they know no spending decision falls inside
+        the observed window (e.g. the whole window is off-target), so the
+        intermediate counter values are unobservable.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self.transmissions_seen += count
+
+    @staticmethod
+    def allowance_at(fraction: float, transmissions_seen: int, absolute_allowance: int) -> int:
+        """The :attr:`allowed` value at a hypothetical counter state.
+
+        The single source of truth for the allowance formula: batch
+        adversaries that mirror the counters in local variables for one
+        window use this to make spend decisions identical to the per-slot
+        path.
+        """
+        return int(fraction * transmissions_seen) + absolute_allowance
+
     @property
     def allowed(self) -> int:
         """Corruptions permitted so far (floor of fraction * transmissions + allowance)."""
-        return int(self.fraction * self.transmissions_seen) + self.absolute_allowance
+        return self.allowance_at(self.fraction, self.transmissions_seen, self.absolute_allowance)
 
     @property
     def remaining(self) -> int:
@@ -84,9 +112,12 @@ class Adversary(abc.ABC):
     oblivious: bool = True
 
     #: Whether the adversary may deliver symbols on slots where the sender was
-    #: silent (insertions).  Transports may skip consulting the adversary on
-    #: silent slots when this is ``False``, which is a pure optimisation: a
-    #: non-inserting adversary maps silence to silence anyway.
+    #: silent (insertions).  This is a real, load-bearing attribute of the
+    #: adversary contract (not duck typing): every adversary must set it, and
+    #: transports skip consulting the adversary on silent slots when it is
+    #: ``False``.  A non-inserting adversary must therefore treat a silent
+    #: slot as a pure no-op — no RNG draws, no budget updates — because it is
+    #: not guaranteed to see silent slots at all.
     may_insert: bool = True
 
     @abc.abstractmethod
@@ -98,6 +129,49 @@ class Adversary(abc.ABC):
         corruption"; any other value is an insertion, deletion or
         substitution and will be charged by the transport's statistics.
         """
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        """Return the symbols delivered for one whole window on one link.
+
+        ``symbols`` is the dense window the sender put on the wire (``None``
+        entries are silent slots); slot ``i`` occurs in absolute round
+        ``ctx.base_round + i``.  The batched transport calls this once per
+        directed link instead of calling :meth:`corrupt` once per slot, and
+        hands the window over as an *immutable tuple* — the sent record is
+        what the transport charges corruptions against, so it cannot be
+        mutated in place.  Return the delivered window as a new sequence
+        (conventionally a list; the transport normalises).
+
+        This base implementation is the per-slot compatibility fallback: it
+        replays exactly what a sequence of single-slot transmissions would do
+        — :meth:`corrupt` then :meth:`notify_delivery` per slot, in offset
+        order, skipping silent slots when :attr:`may_insert` is ``False`` —
+        so any adversary that only implements ``corrupt`` behaves
+        bit-identically under both transmission paths.
+
+        Overrides MUST preserve that bit-identity: same delivered symbols,
+        same RNG stream consumption, same budget accounting as the per-slot
+        path, for every input window.  (All stock adversaries ship such
+        vectorized overrides; if you subclass one and change ``corrupt`` or
+        ``notify_delivery``, you must override ``corrupt_window`` as well —
+        e.g. restore this fallback with
+        ``corrupt_window = Adversary.corrupt_window``.)
+        """
+        delivered: List[Symbol] = []
+        append = delivered.append
+        may_insert = self.may_insert
+        corrupt = self.corrupt
+        notify = self.notify_delivery
+        slot_ctx = ctx.slot
+        for offset, sent in enumerate(symbols):
+            if sent is None and not may_insert:
+                append(None)
+                continue
+            slot = slot_ctx(offset)
+            received = corrupt(slot, sent)
+            notify(slot, sent, received)
+            append(received)
+        return delivered
 
     def notify_delivery(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
         """Hook called after every slot; adaptive adversaries may record state."""
@@ -115,3 +189,6 @@ class NoiselessAdversary(Adversary):
 
     def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
         return sent
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        return list(symbols)

@@ -21,13 +21,22 @@ attacks on the randomness-exchange prefix, ...) live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary
-from repro.network.channel import Symbol, TransmissionContext, apply_additive_noise
+from repro.network.channel import (
+    Symbol,
+    TransmissionContext,
+    WindowContext,
+    apply_additive_noise,
+)
 
 #: Key of one channel slot in an oblivious noise pattern.
 SlotKey = Tuple[int, int, int]  # (round_index, sender, receiver)
+
+#: Sentinel distinguishing "slot not in pattern" from a pattern value of
+#: ``None`` (which the fixing adversary uses to force silence).
+_MISSING = object()
 
 
 def slot_key(ctx: TransmissionContext) -> SlotKey:
@@ -62,6 +71,22 @@ class AdditiveObliviousAdversary(Adversary):
             return sent
         return apply_additive_noise(sent, offset)
 
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Precompute the additive noise mask of this window from the pattern;
+        # clean windows (the common case) pass through with no per-slot work.
+        pattern = self.pattern
+        if not pattern:
+            return list(symbols)
+        sender, receiver = ctx.link
+        base = ctx.base_round
+        mask = [pattern.get((base + offset, sender, receiver), 0) for offset in range(len(symbols))]
+        if not any(mask):
+            return list(symbols)
+        return [
+            sent if offset == 0 else apply_additive_noise(sent, offset)
+            for sent, offset in zip(symbols, mask)
+        ]
+
     def planned_corruptions(self) -> int:
         return len(self.pattern)
 
@@ -94,6 +119,24 @@ class FixingObliviousAdversary(Adversary):
         if key in self.pattern:
             return self.pattern[key]
         return sent
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # ``None`` is a legal pattern value (force silence), so membership is
+        # resolved with a private sentinel rather than ``dict.get``'s default.
+        pattern = self.pattern
+        if not pattern:
+            return list(symbols)
+        sender, receiver = ctx.link
+        base = ctx.base_round
+        missing = _MISSING
+        out = [
+            pattern.get((base + offset, sender, receiver), missing)
+            for offset in range(len(symbols))
+        ]
+        return [
+            sent if fixed is missing else fixed
+            for sent, fixed in zip(symbols, out)
+        ]
 
     def planned_corruptions(self) -> int:
         return len(self.pattern)

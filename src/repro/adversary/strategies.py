@@ -21,10 +21,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary, NoiseBudget
-from repro.network.channel import Symbol, TransmissionContext
+from repro.network.channel import Symbol, TransmissionContext, WindowContext
 from repro.utils.rng import make_rng
 
 
@@ -40,6 +40,19 @@ def _corrupt_randomly(rng: random.Random, symbol: Symbol) -> Symbol:
     if symbol is None:
         return rng.choice([0, 1])  # insertion
     return rng.choice([1 - symbol, None])  # substitution or deletion
+
+
+def _pass_through_observing(budget: NoiseBudget, symbols: Sequence[Symbol]) -> List[Symbol]:
+    """Deliver a window untouched, bulk-observing its realised communication.
+
+    The shared fast path of every targeted/adaptive adversary for windows it
+    will never corrupt: only the budget's notion of the communication grows,
+    so the per-slot observe calls collapse into one bulk update.
+    """
+    transmitted = sum(1 for sent in symbols if sent is not None)
+    if transmitted:
+        budget.observe_transmissions(transmitted)
+    return list(symbols)
 
 
 @dataclass
@@ -79,6 +92,51 @@ class RandomNoiseAdversary(Adversary):
         if self.budget is not None:
             self.budget.spend()
         return corrupted
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # The RNG stream must match the per-slot path draw for draw, so the
+        # corruption mask is drawn in offset order — but in one tight pass
+        # with everything bound locally and no per-slot contexts (the budget
+        # counters are mirrored locally and written back once).
+        corruption_probability = self.corruption_probability
+        insertion_probability = self.insertion_probability
+        budget = self.budget
+        if budget is None and corruption_probability <= 0.0 and insertion_probability <= 0.0:
+            return list(symbols)
+        rng = self._rng
+        rand = rng.random
+        out: List[Symbol] = []
+        append = out.append
+        if budget is None:
+            for sent in symbols:
+                probability = insertion_probability if sent is None else corruption_probability
+                if probability <= 0.0 or rand() >= probability:
+                    append(sent)
+                else:
+                    append(_corrupt_randomly(rng, sent))
+            return out
+        seen = budget.transmissions_seen
+        spent = budget.corruptions_spent
+        fraction = budget.fraction
+        allowance = budget.absolute_allowance
+        allowance_at = budget.allowance_at
+        for sent in symbols:
+            if sent is None:
+                probability = insertion_probability
+            else:
+                seen += 1
+                probability = corruption_probability
+            if probability <= 0.0 or rand() >= probability:
+                append(sent)
+                continue
+            if spent + 1 > allowance_at(fraction, seen, allowance):
+                append(sent)
+                continue
+            append(_corrupt_randomly(rng, sent))
+            spent += 1
+        budget.transmissions_seen = seen
+        budget.corruptions_spent = spent
+        return out
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
@@ -137,6 +195,14 @@ class LinkTargetedAdversary(Adversary):
         self._spent += 1
         return _corrupt_randomly(self._rng, sent)
 
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Only one directed link is ever attacked, so every other window is a
+        # pure pass-through: observe the realised communication in bulk and
+        # skip the per-slot machinery entirely.
+        if ctx.link != self.target or (self.phases is not None and ctx.phase not in self.phases):
+            return _pass_through_observing(self._budget, symbols)
+        return super().corrupt_window(ctx, symbols)
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         self._budget = NoiseBudget(fraction=self.fraction)
@@ -176,6 +242,18 @@ class BurstAdversary(Adversary):
         self._spent += 1
         return _corrupt_randomly(self._rng, sent)
 
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Windows disjoint from the burst interval (or after the cap is
+        # exhausted) touch no state at all — not even the RNG.
+        last_round = ctx.base_round + len(symbols) - 1
+        if (
+            self._spent >= self.max_corruptions
+            or last_round < self.start_round
+            or ctx.base_round > self.end_round
+        ):
+            return list(symbols)
+        return super().corrupt_window(ctx, symbols)
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         self._spent = 0
@@ -214,6 +292,42 @@ class DeletionAdversary(Adversary):
             self.budget.spend()
         return None
 
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Per-slot ``corrupt`` draws the RNG for every transmitted slot (even
+        # at probability 0), so the batch path must too — one draw per
+        # non-silent slot, in offset order.
+        rng = self._rng
+        rand = rng.random
+        probability = self.deletion_probability
+        budget = self.budget
+        out: List[Symbol] = []
+        append = out.append
+        if budget is None:
+            for sent in symbols:
+                if sent is None or rand() >= probability:
+                    append(sent)
+                else:
+                    append(None)
+            return out
+        seen = budget.transmissions_seen
+        spent = budget.corruptions_spent
+        fraction = budget.fraction
+        allowance = budget.absolute_allowance
+        allowance_at = budget.allowance_at
+        for sent in symbols:
+            if sent is None:
+                append(None)
+                continue
+            seen += 1
+            if rand() >= probability or spent + 1 > allowance_at(fraction, seen, allowance):
+                append(sent)
+                continue
+            append(None)
+            spent += 1
+        budget.transmissions_seen = seen
+        budget.corruptions_spent = spent
+        return out
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
 
@@ -237,13 +351,61 @@ class CompositeAdversary(Adversary):
         if not self.components:
             raise ValueError("CompositeAdversary needs at least one component")
         self.oblivious = all(component.oblivious for component in self.components)
-        self.may_insert = any(getattr(component, "may_insert", True) for component in self.components)
+        self.may_insert = any(component.may_insert for component in self.components)
+        # The batched path runs each component over a whole window before the
+        # next one sees it, mirroring budget counters locally per component.
+        # That is only equivalent to the per-slot interleaving when every
+        # component owns its budget, so a shared NoiseBudget object is
+        # rejected rather than silently diverging between the two paths.
+        seen_budgets = set()
+        for component in self._flattened():
+            budget = getattr(component, "budget", None)
+            if budget is None:
+                continue
+            if id(budget) in seen_budgets:
+                raise ValueError(
+                    "CompositeAdversary components must not share a NoiseBudget instance"
+                )
+            seen_budgets.add(id(budget))
+        # A component that records state via notify_delivery must be replayed
+        # slot by slot: the per-slot path notifies every component with the
+        # ORIGINAL sent and FINAL received symbol of each slot, interleaved
+        # between slots, which chaining whole windows cannot reproduce.
+        # Whole-window chaining is used only when every leaf's notify hook is
+        # the base no-op (true for all stock adversaries).
+        self._chain_windows = all(
+            type(component).notify_delivery is Adversary.notify_delivery
+            for component in self._flattened()
+        )
+
+    def _flattened(self) -> Iterable[Adversary]:
+        for component in self.components:
+            if isinstance(component, CompositeAdversary):
+                yield from component._flattened()
+            else:
+                yield component
 
     def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
         symbol = sent
         for component in self.components:
             symbol = component.corrupt(ctx, symbol)
         return symbol
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Chaining whole windows is bit-identical to chaining per slot: each
+        # component owns its RNG/budget, and its state when reaching slot i
+        # depends only on the slots it already processed (0..i-1 of this
+        # window in both orders) — the interleaving with other components is
+        # unobservable.  Components with a real notify_delivery hook break
+        # that argument, so they take the per-slot fallback (which chains
+        # `corrupt` per slot and forwards the original/final symbols through
+        # `notify_delivery`, exactly like the per-slot transport).
+        if not self._chain_windows:
+            return super().corrupt_window(ctx, symbols)
+        out = list(symbols)
+        for component in self.components:
+            out = component.corrupt_window(ctx, out)
+        return out
 
     def notify_delivery(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
         for component in self.components:
@@ -292,6 +454,15 @@ class PhaseTargetedAdaptiveAdversary(Adversary):
         self._budget.spend()
         return _corrupt_randomly(self._rng, sent)
 
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Windows outside the targeted phases (or beyond the iteration cap)
+        # only feed the budget's notion of realised communication.
+        if ctx.phase not in self.phases or (
+            self.max_iteration is not None and ctx.iteration > self.max_iteration
+        ):
+            return _pass_through_observing(self._budget, symbols)
+        return super().corrupt_window(ctx, symbols)
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         self._budget = NoiseBudget(fraction=self.fraction)
@@ -334,6 +505,14 @@ class RotatingLinkAdaptiveAdversary(Adversary):
         self._budget.spend()
         self._cursor = (self._cursor + 1) % len(self.links)
         return _corrupt_randomly(self._rng, sent)
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # The cursor only advances when a corruption lands on the cursor
+        # link, so a window on any other link cannot become targeted
+        # mid-window: bulk-observe it and pass it through.
+        if ctx.link != tuple(self.links[self._cursor]):
+            return _pass_through_observing(self._budget, symbols)
+        return super().corrupt_window(ctx, symbols)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
@@ -378,6 +557,14 @@ class EchoSpoofingAdversary(Adversary):
             self._budget.spend()
             return self._rng.choice([0, 1])  # spoofed reply (insertion)
         return sent
+
+    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        # Only the two directions of the target link are ever touched; every
+        # other window just grows the observed communication.
+        target = tuple(self.target)
+        if ctx.link != target and (ctx.link[1], ctx.link[0]) != target:
+            return _pass_through_observing(self._budget, symbols)
+        return super().corrupt_window(ctx, symbols)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)

@@ -27,9 +27,9 @@ from repro.network.transport import NoisyNetwork
 from repro.protocols.base import Protocol, ReceivedMap
 
 
-def _majority(symbols) -> int:
-    ones = sum(1 for symbol in symbols if symbol == 1)
-    zeros = sum(1 for symbol in symbols if symbol == 0)
+def _majority(symbols: list) -> int:
+    ones = symbols.count(1)
+    zeros = symbols.count(0)
     return 1 if ones > zeros else 0
 
 
@@ -52,6 +52,8 @@ def run_repetition(
     received: Dict[int, ReceivedMap] = {party: {} for party in graph.nodes}
 
     for round_index, transmissions in enumerate(protocol.schedule()):
+        # Each scheduled bit becomes one dense per-link window of length
+        # ``repetitions``; the whole round is a single batched exchange.
         messages: Dict[Tuple[int, int], list] = {}
         for sender, receiver in transmissions:
             bit = parties[sender].send_bit(round_index, receiver, received[sender])

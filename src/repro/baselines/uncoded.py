@@ -22,6 +22,7 @@ from repro.adversary.base import Adversary, NoiselessAdversary
 from repro.analysis.metrics import RunMetrics
 from repro.network.transport import NoisyNetwork
 from repro.protocols.base import Protocol, ReceivedMap
+from repro.utils.bitstring import symbol_to_bit
 
 
 @dataclass
@@ -58,7 +59,7 @@ def run_uncoded(
         delivered = network.exchange_window(messages, 1, phase="baseline")
         for sender, receiver in transmissions:
             symbol = delivered[(sender, receiver)][0]
-            received[receiver][(round_index, sender)] = 0 if symbol is None else int(symbol)
+            received[receiver][(round_index, sender)] = symbol_to_bit(symbol)
         # Insertions on idle links are delivered but ignored: the receiver is
         # not listening on a link with no scheduled transmission this round.
 

@@ -55,6 +55,7 @@ from repro.network.graph import Graph, edge_key
 from repro.network.spanning_tree import SpanningTree
 from repro.network.transport import NoisyNetwork
 from repro.protocols.base import PartyLogic, Protocol
+from repro.utils.bitstring import symbol_to_bit
 from repro.utils.rng import fork, fork_seed, make_rng
 
 
@@ -212,6 +213,9 @@ class InteractiveCodingSimulator:
     # ------------------------------------------------- phase (i): meeting points --
 
     def _meeting_points_phase(self, iteration: int) -> None:
+        # One dense window per directed link: every session contributes its
+        # four concatenated hashes, and the whole network-wide exchange is a
+        # single batched window transmission.
         window = 4 * self.hasher.output_bits
         messages: Dict[Tuple[int, int], List[int]] = {}
         for runtime in self.runtimes.values():
@@ -358,7 +362,7 @@ class InteractiveCodingSimulator:
                             )
                             messages[(party, neighbor)] = [bit]
                             workspace["sent"][neighbor][round_index] = bit
-            if not messages and not getattr(self.adversary, "may_insert", True):
+            if not messages and not self.adversary.may_insert:
                 # Nothing scheduled anywhere this round; skip the exchange but
                 # keep the clock honest.
                 self.network.advance_rounds(1)
@@ -377,9 +381,7 @@ class InteractiveCodingSimulator:
                         if sender == neighbor and receiver == party:
                             symbol = delivered[(neighbor, party)][0]
                             workspace["recv"][neighbor][round_index] = symbol
-                            workspace["received_map"][(round_index, neighbor)] = (
-                                0 if symbol is None else int(symbol)
-                            )
+                            workspace["received_map"][(round_index, neighbor)] = symbol_to_bit(symbol)
 
         # Append the freshly simulated chunk records.
         for party, links in active.items():
@@ -424,7 +426,7 @@ class InteractiveCodingSimulator:
                         runtime.transcripts[neighbor].truncate_last(1)
                         already[party][neighbor] = True
                         self._counters["rewinds_sent"] += 1
-            if not messages and not getattr(self.adversary, "may_insert", True):
+            if not messages and not self.adversary.may_insert:
                 self.network.advance_rounds(1)
                 continue
             delivered = self.network.exchange_window(messages, 1, "rewind", iteration)

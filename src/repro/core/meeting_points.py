@@ -37,7 +37,7 @@ from repro.core.transcript import LinkTranscript
 from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash, fingerprint_bits
 from repro.hashing.seeds import SeedSource
 from repro.network.channel import Symbol
-from repro.utils.bitstring import bytes_to_bits
+from repro.utils.bitstring import bits_to_int, bytes_to_bits, int_to_bits
 
 STATUS_SIMULATE = "simulate"
 STATUS_MEETING_POINTS = "meeting points"
@@ -200,10 +200,10 @@ class MeetingPointsSession:
     @staticmethod
     def _clean_group(received: Sequence[Symbol], start: int, length: int) -> Optional[Tuple[int, ...]]:
         """Extract a hash from the received symbols; ``None`` if any bit is missing."""
-        group = list(received[start:start + length])
-        if len(group) < length or any(symbol is None for symbol in group):
+        group = received[start:start + length]
+        if len(group) < length or None in group:
             return None
-        return tuple(int(symbol) for symbol in group)
+        return tuple(map(int, group))
 
     def _hash_counter(self, iteration: int, value: int) -> Tuple[int, ...]:
         seed = self.seed_source.seed_for(
@@ -215,11 +215,7 @@ class MeetingPointsSession:
     def _hash_prefix(self, iteration: int, transcript: LinkTranscript, num_chunks: int) -> Tuple[int, ...]:
         serialized = transcript.serialize_prefix(num_chunks)
         if self.hash_input_mode == "raw" and len(serialized) * 8 <= _RAW_INPUT_CAP_BITS:
-            bits = bytes_to_bits(serialized)
-            value = 0
-            for index, bit in enumerate(bits):
-                if bit:
-                    value |= 1 << index
+            value = bits_to_int(bytes_to_bits(serialized))
             input_bits = _RAW_INPUT_CAP_BITS
         else:
             value = fingerprint_bits(serialized)
@@ -231,4 +227,4 @@ class MeetingPointsSession:
         return self._unpack(digest)
 
     def _unpack(self, digest: int) -> Tuple[int, ...]:
-        return tuple((digest >> j) & 1 for j in range(self.hasher.output_bits))
+        return tuple(int_to_bits(digest, self.hasher.output_bits))

@@ -28,7 +28,8 @@ from repro.hashing.seeds import ExchangedSeedSource, SeedSource
 from repro.hashing.small_bias import seed_length_bits
 from repro.network.graph import Graph, edge_key
 from repro.network.transport import NoisyNetwork
-from repro.utils.bitstring import bits_to_int
+from repro.utils.bitstring import bits_to_int, symbols_to_bits
+from repro.utils.rng import random_bits
 
 
 @dataclass
@@ -64,7 +65,7 @@ def run_randomness_exchange(
     sampled: Dict[Tuple[int, int], List[int]] = {}
     messages: Dict[Tuple[int, int], List[int]] = {}
     for u, v in graph.edges:  # canonical order: u < v, u is the sender
-        bits = [rng.getrandbits(1) for _ in range(seed_bits)]
+        bits = random_bits(rng, seed_bits)
         sampled[(u, v)] = bits
         messages[(u, v)] = code.encode(bits)
 
@@ -80,7 +81,7 @@ def run_randomness_exchange(
             receiver_bits = code.decode(delivered)
         except DecodingError:
             # Decoding failure: fall back to the raw (erasure-filled) bits.
-            receiver_bits = [0 if symbol is None else int(symbol) for symbol in delivered[:seed_bits]]
+            receiver_bits = symbols_to_bits(delivered[:seed_bits])
             receiver_bits += [0] * (seed_bits - len(receiver_bits))
         report.agreed[edge_key(u, v)] = receiver_bits == sender_bits
 

@@ -1,6 +1,13 @@
 """Network substrate: graphs, topologies, spanning trees and noisy transport."""
 
-from repro.network.channel import ChannelStats, Symbol, TransmissionContext, apply_additive_noise, classify_corruption
+from repro.network.channel import (
+    ChannelStats,
+    Symbol,
+    TransmissionContext,
+    WindowContext,
+    apply_additive_noise,
+    classify_corruption,
+)
 from repro.network.graph import Graph, edge_key
 from repro.network.spanning_tree import SpanningTree
 from repro.network.topologies import (
@@ -19,6 +26,7 @@ __all__ = [
     "ChannelStats",
     "Symbol",
     "TransmissionContext",
+    "WindowContext",
     "apply_additive_noise",
     "classify_corruption",
     "Graph",

@@ -22,7 +22,7 @@ the number of corruptions of each kind, and per-phase breakdowns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 Symbol = Optional[int]  # 0, 1 or None (silence / the paper's "*")
 
@@ -68,6 +68,74 @@ class TransmissionContext:
     phase: str
     iteration: int = -1
     slot_index: int = 0
+
+
+class WindowContext:
+    """Metadata describing one window of consecutive slots on one directed link.
+
+    The batched transmission path hands one ``WindowContext`` per directed
+    link to :meth:`~repro.adversary.base.Adversary.corrupt_window`; slot
+    ``offset`` of the window corresponds to absolute round
+    ``base_round + offset``.  :meth:`slot` materialises the equivalent
+    per-slot :class:`TransmissionContext`, which is what the fallback path
+    (and any adversary that only implements ``corrupt``) consumes.
+
+    A hand-rolled ``__slots__`` class rather than a dataclass: one instance
+    is allocated per (link, window) on the transport hot path, where the
+    dataclass machinery is measurable overhead.
+    """
+
+    __slots__ = ("link", "phase", "iteration", "base_round")
+
+    def __init__(
+        self,
+        link: Tuple[int, int],
+        phase: str,
+        iteration: int = -1,
+        base_round: int = 0,
+    ) -> None:
+        self.link = link
+        self.phase = phase
+        self.iteration = iteration
+        self.base_round = base_round
+
+    @property
+    def sender(self) -> int:
+        return self.link[0]
+
+    @property
+    def receiver(self) -> int:
+        return self.link[1]
+
+    def slot(self, offset: int) -> TransmissionContext:
+        """The per-slot context of window offset ``offset``."""
+        return TransmissionContext(
+            round_index=self.base_round + offset,
+            sender=self.link[0],
+            receiver=self.link[1],
+            phase=self.phase,
+            iteration=self.iteration,
+            slot_index=offset,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WindowContext(link={self.link!r}, phase={self.phase!r}, "
+            f"iteration={self.iteration}, base_round={self.base_round})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WindowContext):
+            return NotImplemented
+        return (
+            self.link == other.link
+            and self.phase == other.phase
+            and self.iteration == other.iteration
+            and self.base_round == other.base_round
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.link, self.phase, self.iteration, self.base_round))
 
 
 @dataclass
@@ -118,6 +186,51 @@ class ChannelStats:
         self.corruptions_by_phase[ctx.phase] = self.corruptions_by_phase.get(ctx.phase, 0) + 1
         link = (ctx.sender, ctx.receiver)
         self.corruptions_by_link[link] = self.corruptions_by_link.get(link, 0) + 1
+
+    def record_window(
+        self,
+        ctx: WindowContext,
+        sent: Sequence[Symbol],
+        received: Sequence[Symbol],
+    ) -> None:
+        """Account one whole window on one directed link in a single pass.
+
+        Equivalent to calling :meth:`record` once per slot with the matching
+        :class:`TransmissionContext` — same totals, same per-phase and
+        per-link breakdowns — but the dictionaries are touched at most once
+        per window instead of once per slot.
+        """
+        transmissions = 0
+        delivered = 0
+        substitutions = 0
+        deletions = 0
+        insertions = 0
+        for sent_symbol, received_symbol in zip(sent, received):
+            if sent_symbol is not None:
+                transmissions += 1
+            if received_symbol is not None:
+                delivered += 1
+            if sent_symbol != received_symbol:
+                if sent_symbol is None:
+                    insertions += 1
+                elif received_symbol is None:
+                    deletions += 1
+                else:
+                    substitutions += 1
+        self.delivered_symbols += delivered
+        if transmissions:
+            self.transmissions += transmissions
+            phase_counts = self.transmissions_by_phase
+            phase_counts[ctx.phase] = phase_counts.get(ctx.phase, 0) + transmissions
+        corruptions = substitutions + deletions + insertions
+        if corruptions:
+            self.substitutions += substitutions
+            self.deletions += deletions
+            self.insertions += insertions
+            phase_corruptions = self.corruptions_by_phase
+            phase_corruptions[ctx.phase] = phase_corruptions.get(ctx.phase, 0) + corruptions
+            link_corruptions = self.corruptions_by_link
+            link_corruptions[ctx.link] = link_corruptions.get(ctx.link, 0) + corruptions
 
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict summary convenient for reports and benchmarks."""

@@ -41,6 +41,13 @@ class Graph:
             raise ValueError("a graph needs at least one node")
         for node in range(self.num_nodes):
             self._adjacency.setdefault(node, set())
+        # Lazy caches of the directed-edge view; the transport asks for it
+        # once per window exchange, so it must not be rebuilt per call.
+        # Deliberately plain attributes (not dataclass fields): derived state
+        # must stay invisible to dataclass-field walkers such as the trial
+        # fingerprinter.
+        self._directed_cache: Optional[Tuple[DirectedEdge, ...]] = None
+        self._directed_set_cache: Optional[FrozenSet[DirectedEdge]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -60,6 +67,8 @@ class Graph:
         self._edges.add(key)
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
+        self._directed_cache = None
+        self._directed_set_cache = None
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -79,13 +88,23 @@ class Graph:
     def num_edges(self) -> int:
         return len(self._edges)
 
-    def directed_edges(self) -> List[DirectedEdge]:
-        """All ordered pairs (u, v) such that {u, v} is an edge."""
-        out: List[DirectedEdge] = []
-        for u, v in self.edges:
-            out.append((u, v))
-            out.append((v, u))
-        return out
+    def directed_edges(self) -> Tuple[DirectedEdge, ...]:
+        """All ordered pairs (u, v) such that {u, v} is an edge (cached)."""
+        cached = self._directed_cache
+        if cached is None:
+            out: List[DirectedEdge] = []
+            for u, v in self.edges:
+                out.append((u, v))
+                out.append((v, u))
+            cached = self._directed_cache = tuple(out)
+        return cached
+
+    def directed_edge_set(self) -> FrozenSet[DirectedEdge]:
+        """The directed edges as a set, for O(1) link validation (cached)."""
+        cached = self._directed_set_cache
+        if cached is None:
+            cached = self._directed_set_cache = frozenset(self.directed_edges())
+        return cached
 
     def has_edge(self, u: int, v: int) -> bool:
         return edge_key(u, v) in self._edges

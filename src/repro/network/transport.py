@@ -4,12 +4,26 @@
 receiver.  It
 
 * validates that transmissions only use existing links,
-* hands every slot to the adversary,
+* hands the traffic to the adversary,
 * keeps the global round counter and all communication / corruption
   statistics (:class:`~repro.network.channel.ChannelStats`), and
 * exposes window-oriented helpers (``exchange_window``) because every phase
   of the coding scheme transmits a fixed-length burst of symbols on many
   links in parallel, one symbol per round per direction.
+
+Two transmission paths exist:
+
+* the **batched fast path** (default): ``exchange_window`` makes one
+  :meth:`~repro.adversary.base.Adversary.corrupt_window` call per directed
+  link and one :meth:`~repro.network.channel.ChannelStats.record_window`
+  bookkeeping pass per window — no per-slot contexts, calls or dictionary
+  updates;
+* the **single-slot compatibility path**: ``transmit`` carries one symbol
+  through the classic ``TransmissionContext`` → ``corrupt`` → ``record`` →
+  ``notify_delivery`` pipeline, and ``exchange_window_per_slot`` runs a whole
+  window through it.  The two paths are bit-identical for every adversary
+  honouring the ``corrupt_window`` contract (the equivalence suite in
+  ``tests/test_transport.py`` pins this for all stock adversaries).
 
 The engine never talks to the adversary directly; everything goes through
 this class so the accounting cannot be bypassed.
@@ -18,11 +32,13 @@ this class so the accounting cannot be bypassed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.adversary.base import Adversary, NoiselessAdversary
-from repro.network.channel import ChannelStats, Symbol, TransmissionContext
+from repro.network.channel import ChannelStats, Symbol, TransmissionContext, WindowContext
 from repro.network.graph import Graph
+
+_VALID_SYMBOLS = (0, 1, None)
 
 
 @dataclass
@@ -33,6 +49,50 @@ class NoisyNetwork:
     adversary: Adversary = field(default_factory=NoiselessAdversary)
     stats: ChannelStats = field(default_factory=ChannelStats)
     current_round: int = 0
+    #: When ``False``, ``exchange_window`` routes through the single-slot
+    #: compatibility path instead of the batched one.  The two are
+    #: bit-identical; the flag exists for equivalence tests and benchmarks.
+    batched: bool = True
+
+    def __post_init__(self) -> None:
+        self._check_notify_contract(self.adversary)
+
+    @staticmethod
+    def _check_notify_contract(adversary: Adversary) -> None:
+        """Reject adversaries whose batch path would silently skip notifications.
+
+        The stock native ``corrupt_window`` overrides never call
+        ``notify_delivery`` (it is a no-op for every stock adversary).  A
+        subclass that overrides ``notify_delivery`` while *inheriting* such an
+        override would therefore record different state on the batched and
+        per-slot paths — the exact silent divergence the bit-identity
+        guarantee forbids.  The hazard exists precisely when the class
+        providing ``corrupt_window`` is unrelated to (not a subclass of, and
+        not the base fallback seen by) the class providing
+        ``notify_delivery``; overriding ``corrupt_window`` alongside (or
+        below) the notify override, or restoring the base fallback with
+        ``corrupt_window = Adversary.corrupt_window``, declares the pairing
+        intentional.
+        """
+        adversary_type = type(adversary)
+        if adversary_type.notify_delivery is Adversary.notify_delivery:
+            return
+        corrupt_window_owner = next(
+            klass for klass in adversary_type.__mro__ if "corrupt_window" in klass.__dict__
+        )
+        notify_owner = next(
+            klass for klass in adversary_type.__mro__ if "notify_delivery" in klass.__dict__
+        )
+        if corrupt_window_owner is Adversary:
+            return  # the base fallback interleaves notify_delivery per slot
+        if issubclass(corrupt_window_owner, notify_owner):
+            return  # whoever wrote corrupt_window knew about the notify hook
+        raise ValueError(
+            f"{adversary_type.__name__} overrides notify_delivery but inherits "
+            f"corrupt_window from {corrupt_window_owner.__name__}, whose batch path "
+            "never notifies: override corrupt_window too, or restore the per-slot "
+            "fallback with `corrupt_window = Adversary.corrupt_window`"
+        )
 
     # -- round bookkeeping --------------------------------------------------
 
@@ -57,7 +117,7 @@ class NoisyNetwork:
         """Send one symbol (or silence) over a directed link and return what arrives."""
         if not self.graph.has_edge(sender, receiver):
             raise ValueError(f"({sender}, {receiver}) is not a link of the network")
-        if symbol not in (0, 1, None):
+        if symbol not in _VALID_SYMBOLS:
             raise ValueError(f"invalid channel symbol {symbol!r}")
         ctx = TransmissionContext(
             round_index=self.current_round + round_offset,
@@ -68,7 +128,7 @@ class NoisyNetwork:
             slot_index=slot_index,
         )
         received = self.adversary.corrupt(ctx, symbol)
-        if received not in (0, 1, None):
+        if received not in _VALID_SYMBOLS:
             raise ValueError(f"adversary produced invalid symbol {received!r}")
         self.stats.record(ctx, symbol, received)
         self.adversary.notify_delivery(ctx, symbol, received)
@@ -90,26 +150,96 @@ class NoisyNetwork:
         Every directed link of the graph participates in every round of the
         window, even if its sender stays silent: this is what allows the
         adversary to *insert* symbols on idle links, exactly as in the paper's
-        noise model.  Returns the symbols delivered on every directed link.
+        noise model.  Message keys must be directed links of the network.
+        Returns the symbols delivered on every directed link.
         """
-        if window_rounds < 0:
-            raise ValueError("window_rounds must be non-negative")
-        for (sender, receiver), symbols in messages.items():
-            if len(symbols) > window_rounds:
-                raise ValueError(
-                    f"message on link ({sender}, {receiver}) has {len(symbols)} symbols "
-                    f"but the window only has {window_rounds} rounds"
-                )
+        self._validate_window(messages, window_rounds)
+        if not self.batched:
+            return self._exchange_window_per_slot(messages, window_rounds, phase, iteration)
+
+        adversary = self.adversary
+        corrupt_window = adversary.corrupt_window
+        may_insert = adversary.may_insert
+        stats = self.stats
+        base_round = self.current_round
+        # The adversary sees the window as an immutable tuple, so the sent
+        # record used for corruption accounting below cannot be mutated in
+        # place — the accounting structurally cannot be bypassed.  The
+        # all-silent window is shared across links (it is never writable).
+        silence_tuple = (None,) * window_rounds
+        silence_list = [None] * window_rounds
         received: Dict[Tuple[int, int], List[Symbol]] = {}
-        may_insert = getattr(self.adversary, "may_insert", True)
+        for link in self.graph.directed_edges():
+            outgoing = messages.get(link)
+            if outgoing is None:
+                if not may_insert:
+                    # A non-inserting adversary maps silence to silence; skip
+                    # the whole window (the slots carry no bits).
+                    received[link] = [None] * window_rounds
+                    continue
+                window_tuple = silence_tuple
+                window = silence_list  # read-only: compared and counted, never handed out
+            else:
+                window = list(outgoing)
+                if len(window) < window_rounds:
+                    window.extend([None] * (window_rounds - len(window)))
+                window_tuple = tuple(window)
+            ctx = WindowContext(link=link, phase=phase, iteration=iteration, base_round=base_round)
+            delivered = corrupt_window(ctx, window_tuple)
+            if type(delivered) is not list:
+                delivered = list(delivered)
+            if delivered == window:
+                # Untouched window: the input was already validated, so only
+                # the transmission counters can change — and an all-silent
+                # window cannot even do that.
+                if outgoing is not None:
+                    stats.record_window(ctx, window, delivered)
+            else:
+                if len(delivered) != window_rounds:
+                    raise ValueError(
+                        f"adversary delivered {len(delivered)} symbols for a "
+                        f"{window_rounds}-round window on link {link}"
+                    )
+                for value in delivered:
+                    if value not in _VALID_SYMBOLS:
+                        raise ValueError(f"adversary produced invalid symbol {value!r}")
+                stats.record_window(ctx, window, delivered)
+            received[link] = delivered
+        self.advance_rounds(window_rounds)
+        return received
+
+    def exchange_window_per_slot(
+        self,
+        messages: Dict[Tuple[int, int], Sequence[Symbol]],
+        window_rounds: int,
+        phase: str,
+        iteration: int = -1,
+    ) -> Dict[Tuple[int, int], List[Symbol]]:
+        """The single-slot reference implementation of :meth:`exchange_window`.
+
+        Every slot goes through :meth:`transmit` individually.  This is the
+        semantics the batched path must reproduce bit for bit; it is kept as
+        a first-class method so equivalence tests and benchmarks can run both
+        paths side by side.
+        """
+        self._validate_window(messages, window_rounds)
+        return self._exchange_window_per_slot(messages, window_rounds, phase, iteration)
+
+    def _exchange_window_per_slot(
+        self,
+        messages: Dict[Tuple[int, int], Sequence[Symbol]],
+        window_rounds: int,
+        phase: str,
+        iteration: int,
+    ) -> Dict[Tuple[int, int], List[Symbol]]:
+        received: Dict[Tuple[int, int], List[Symbol]] = {}
+        may_insert = self.adversary.may_insert
         for sender, receiver in self.graph.directed_edges():
             outgoing = list(messages.get((sender, receiver), ()))
             delivered: List[Symbol] = []
             for offset in range(window_rounds):
                 symbol = outgoing[offset] if offset < len(outgoing) else None
                 if symbol is None and not may_insert:
-                    # A non-inserting adversary maps silence to silence; skip
-                    # the per-slot call for speed (the slot carries no bits).
                     delivered.append(None)
                     continue
                 delivered.append(
@@ -126,6 +256,30 @@ class NoisyNetwork:
             received[(sender, receiver)] = delivered
         self.advance_rounds(window_rounds)
         return received
+
+    def _validate_window(
+        self,
+        messages: Dict[Tuple[int, int], Sequence[Symbol]],
+        window_rounds: int,
+    ) -> None:
+        """Shared validation: window length, message keys and symbol values."""
+        if window_rounds < 0:
+            raise ValueError("window_rounds must be non-negative")
+        if not messages:
+            return
+        links = self.graph.directed_edge_set()
+        for link, symbols in messages.items():
+            if link not in links:
+                raise ValueError(f"message keyed on unknown link {link}: not a directed edge of the network")
+            if len(symbols) > window_rounds:
+                sender, receiver = link
+                raise ValueError(
+                    f"message on link ({sender}, {receiver}) has {len(symbols)} symbols "
+                    f"but the window only has {window_rounds} rounds"
+                )
+            for symbol in symbols:
+                if symbol not in _VALID_SYMBOLS:
+                    raise ValueError(f"invalid channel symbol {symbol!r}")
 
     # -- convenience ----------------------------------------------------------
 

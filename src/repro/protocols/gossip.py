@@ -100,7 +100,7 @@ class PairwiseExchangeProtocol(Protocol):
         self.inputs = dict(inputs)
 
     def build_schedule(self) -> List[List[DirectedEdge]]:
-        return [self.graph.directed_edges()]
+        return [list(self.graph.directed_edges())]
 
     def create_party(self, party: int) -> PartyLogic:
         return _PairwiseExchangeParty(party, self.inputs[party], self.graph.neighbors(party))

@@ -8,6 +8,7 @@ from repro.utils.bitstring import (
     int_to_bits,
     longest_common_prefix_length,
     parity,
+    symbol_to_bit,
     symbols_to_bits,
     xor_bits,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "int_to_bits",
     "longest_common_prefix_length",
     "parity",
+    "symbol_to_bit",
     "symbols_to_bits",
     "xor_bits",
     "fork",

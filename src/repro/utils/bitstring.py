@@ -90,6 +90,15 @@ def xor_bits(a: Sequence[Bit], b: Sequence[Bit]) -> List[Bit]:
     return [x ^ y for x, y in zip(a, b)]
 
 
+def symbol_to_bit(symbol: Symbol, erasure_fill: Bit = 0) -> Bit:
+    """Convert one channel symbol to a bit, mapping erasure (``None``) to a filler.
+
+    The single-symbol companion of :func:`symbols_to_bits`, used wherever a
+    receiver must feed a possibly-deleted slot into protocol logic.
+    """
+    return erasure_fill if symbol is None else int(symbol)
+
+
 def symbols_to_bits(symbols: Iterable[Symbol], erasure_fill: Bit = 0) -> List[Bit]:
     """Convert channel symbols to bits, mapping the erasure symbol to a filler.
 

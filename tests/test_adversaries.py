@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary.base import NoiseBudget, NoiselessAdversary
+from repro.adversary.base import Adversary, NoiseBudget, NoiselessAdversary
 from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
 from repro.adversary.strategies import (
     BurstAdversary,
@@ -16,13 +16,17 @@ from repro.adversary.strategies import (
     RandomNoiseAdversary,
     RotatingLinkAdaptiveAdversary,
 )
-from repro.network.channel import TransmissionContext
+from repro.network.channel import Symbol, TransmissionContext, WindowContext
 
 
 def _ctx(round_index=0, sender=0, receiver=1, phase="simulation", iteration=0):
     return TransmissionContext(
         round_index=round_index, sender=sender, receiver=receiver, phase=phase, iteration=iteration
     )
+
+
+def _window_ctx(link=(0, 1), phase="simulation", iteration=0, base_round=0):
+    return WindowContext(link=link, phase=phase, iteration=iteration, base_round=base_round)
 
 
 class TestNoiseBudget:
@@ -42,6 +46,26 @@ class TestNoiseBudget:
         budget.spend()
         with pytest.raises(RuntimeError):
             budget.spend()
+
+    def test_bulk_observe_matches_repeated_single_observes(self):
+        bulk = NoiseBudget(fraction=0.1)
+        single = NoiseBudget(fraction=0.1)
+        bulk.observe_transmissions(37)
+        for _ in range(37):
+            single.observe_transmission()
+        assert bulk == single
+        assert bulk.allowed == single.allowed
+
+    def test_bulk_observe_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            NoiseBudget(fraction=0.1).observe_transmissions(-1)
+
+    def test_bulk_spend(self):
+        budget = NoiseBudget(fraction=0.0, absolute_allowance=5)
+        budget.spend(3)
+        assert budget.remaining == 2
+        with pytest.raises(RuntimeError):
+            budget.spend(3)
 
 
 class TestNoiseless:
@@ -216,3 +240,252 @@ class TestComposite:
             )
         )
         assert composite.oblivious is False
+
+    def test_rejects_shared_noise_budget(self):
+        """A budget shared between components would make the batched and
+        per-slot paths diverge (the batch overrides mirror counters locally
+        per component), so the unsupported configuration fails loudly."""
+        shared = NoiseBudget(fraction=0.1)
+        with pytest.raises(ValueError, match="share a NoiseBudget"):
+            CompositeAdversary(
+                components=(
+                    RandomNoiseAdversary(corruption_probability=0.5, seed=0, budget=shared),
+                    DeletionAdversary(deletion_probability=0.5, seed=1, budget=shared),
+                )
+            )
+        # distinct budgets are fine, including across nesting levels
+        CompositeAdversary(
+            components=(
+                RandomNoiseAdversary(
+                    corruption_probability=0.5, seed=0, budget=NoiseBudget(fraction=0.1)
+                ),
+                CompositeAdversary(
+                    components=(
+                        DeletionAdversary(
+                            deletion_probability=0.5, seed=1, budget=NoiseBudget(fraction=0.1)
+                        ),
+                    )
+                ),
+            )
+        )
+
+
+class TestMayInsertContract:
+    """`may_insert` is a real, documented attribute of every stock adversary."""
+
+    def test_every_stock_adversary_sets_may_insert(self):
+        instances = [
+            NoiselessAdversary(),
+            AdditiveObliviousAdversary(pattern={(0, 0, 1): 1}),
+            AdditiveObliviousAdversary(),
+            FixingObliviousAdversary(pattern={(0, 0, 1): 1}),
+            FixingObliviousAdversary(pattern={(0, 0, 1): None}),
+            RandomNoiseAdversary(corruption_probability=0.1, seed=0),
+            RandomNoiseAdversary(corruption_probability=0.1, insertion_probability=0.1, seed=0),
+            LinkTargetedAdversary(target=(0, 1), fraction=0.1, seed=0),
+            BurstAdversary(start_round=0, end_round=1, max_corruptions=1, seed=0),
+            DeletionAdversary(deletion_probability=0.1, seed=0),
+            CompositeAdversary(components=(NoiselessAdversary(),)),
+            PhaseTargetedAdaptiveAdversary(fraction=0.1, seed=0),
+            RotatingLinkAdaptiveAdversary(links=((0, 1),), fraction=0.1, seed=0),
+            EchoSpoofingAdversary(target=(0, 1), fraction=0.1, seed=0),
+        ]
+        for adversary in instances:
+            assert isinstance(adversary.may_insert, bool), adversary.name
+
+    def test_may_insert_reflects_insertion_capability(self):
+        assert NoiselessAdversary().may_insert is False
+        assert AdditiveObliviousAdversary(pattern={(0, 0, 1): 1}).may_insert is True
+        assert AdditiveObliviousAdversary().may_insert is False
+        assert FixingObliviousAdversary(pattern={(0, 0, 1): None}).may_insert is False
+        assert RandomNoiseAdversary(corruption_probability=0.5, seed=0).may_insert is False
+        assert (
+            RandomNoiseAdversary(
+                corruption_probability=0.5, insertion_probability=0.1, seed=0
+            ).may_insert
+            is True
+        )
+        assert EchoSpoofingAdversary(target=(0, 1), fraction=0.1, seed=0).may_insert is True
+        assert (
+            CompositeAdversary(
+                components=(
+                    NoiselessAdversary(),
+                    EchoSpoofingAdversary(target=(0, 1), fraction=0.1, seed=0),
+                )
+            ).may_insert
+            is True
+        )
+
+
+class _NotifyDependentAdversary(Adversary):
+    """Corrupts a slot iff the previous notification showed a clean delivery.
+
+    Implements only `corrupt` + `notify_delivery` — the documented per-slot
+    pattern — so composites containing it must fall back to slot-by-slot
+    replay to stay bit-identical between the transmission paths.
+    """
+
+    name = "notify-dependent"
+    may_insert = False
+
+    def __init__(self):
+        self.last_was_clean = False
+
+    def corrupt(self, ctx, sent):
+        if sent is not None and self.last_was_clean:
+            return 1 - sent
+        return sent
+
+    def notify_delivery(self, ctx, sent, received):
+        self.last_was_clean = sent == received
+
+    def reset(self):
+        self.last_was_clean = False
+
+
+def test_composite_with_notify_using_component_stays_bit_identical():
+    from repro.network.topologies import line_topology
+    from repro.network.transport import NoisyNetwork
+
+    def build():
+        return CompositeAdversary(
+            components=(
+                RandomNoiseAdversary(corruption_probability=0.3, seed=9),
+                _NotifyDependentAdversary(),
+            )
+        )
+
+    batched = NoisyNetwork(line_topology(3), adversary=build())
+    per_slot = NoisyNetwork(line_topology(3), adversary=build())
+    messages = {(0, 1): [1, 1, 0, 1, 0, 1], (1, 2): [0, 1, 1, None, 1, 0]}
+    a = batched.exchange_window(messages, 6, phase="simulation")
+    b = per_slot.exchange_window_per_slot(messages, 6, phase="simulation")
+    assert a == b
+    assert batched.stats == per_slot.stats
+    assert (
+        batched.adversary.components[1].last_was_clean
+        == per_slot.adversary.components[1].last_was_clean
+    )
+
+
+class _PerSlotOnlyAdversary(Adversary):
+    """A custom adversary that only implements `corrupt` (fallback coverage)."""
+
+    name = "per-slot-only"
+    may_insert = True
+
+    def __init__(self):
+        self.calls = []
+        self.notified = []
+
+    def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
+        self.calls.append((ctx.round_index, ctx.slot_index, sent))
+        if sent is None:
+            return None
+        return 1 - sent
+
+    def notify_delivery(self, ctx, sent, received):
+        self.notified.append((ctx.slot_index, sent, received))
+
+
+class TestCorruptWindow:
+    """The batch contract: corrupt_window must mirror per-slot corrupt calls."""
+
+    def _per_slot_reference(self, build, ctx, window):
+        """Drive `corrupt` slot by slot the way the per-slot transport would."""
+        adversary = build()
+        delivered = []
+        for offset, sent in enumerate(window):
+            if sent is None and not adversary.may_insert:
+                delivered.append(None)
+                continue
+            slot = ctx.slot(offset)
+            received = adversary.corrupt(slot, sent)
+            adversary.notify_delivery(slot, sent, received)
+            delivered.append(received)
+        return adversary, delivered
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: NoiselessAdversary(),
+            lambda: AdditiveObliviousAdversary(pattern={(2, 0, 1): 1, (4, 0, 1): 2}),
+            lambda: FixingObliviousAdversary(pattern={(1, 0, 1): None, (3, 0, 1): 1}),
+            lambda: RandomNoiseAdversary(
+                corruption_probability=0.4, insertion_probability=0.2, seed=11
+            ),
+            lambda: RandomNoiseAdversary(
+                corruption_probability=0.9,
+                seed=5,
+                budget=NoiseBudget(fraction=0.3, absolute_allowance=1),
+            ),
+            lambda: LinkTargetedAdversary(target=(0, 1), fraction=0.5, seed=3),
+            lambda: BurstAdversary(start_round=1, end_round=4, max_corruptions=2, seed=9),
+            lambda: DeletionAdversary(deletion_probability=0.5, seed=7),
+            lambda: DeletionAdversary(
+                deletion_probability=0.9, seed=2, budget=NoiseBudget(fraction=0.25)
+            ),
+            lambda: PhaseTargetedAdaptiveAdversary(
+                fraction=0.4, phases=("simulation",), seed=4
+            ),
+            lambda: RotatingLinkAdaptiveAdversary(links=((0, 1), (1, 0)), fraction=1.0, seed=6),
+            lambda: EchoSpoofingAdversary(target=(0, 1), fraction=0.6, seed=8),
+        ],
+        ids=[
+            "noiseless",
+            "additive",
+            "fixing",
+            "random-noise",
+            "random-noise-budgeted",
+            "link-targeted",
+            "burst",
+            "deletion",
+            "deletion-budgeted",
+            "phase-targeted",
+            "rotating-link",
+            "echo-spoofing",
+        ],
+    )
+    def test_window_matches_slot_by_slot_reference(self, builder):
+        window = [1, 0, None, 1, None, 0, 1, 1]
+        ctx = _window_ctx(link=(0, 1), phase="simulation", base_round=0)
+        reference_adversary, reference = self._per_slot_reference(builder, ctx, window)
+        adversary = builder()
+        delivered = adversary.corrupt_window(ctx, window)
+        assert delivered == reference
+        rng = getattr(adversary, "_rng", None)
+        if rng is not None:
+            assert rng.getstate() == reference_adversary._rng.getstate()
+
+    def test_fallback_covers_corrupt_only_adversaries(self):
+        adversary = _PerSlotOnlyAdversary()
+        ctx = _window_ctx(link=(0, 1), base_round=10)
+        delivered = adversary.corrupt_window(ctx, [1, None, 0])
+        assert delivered == [0, None, 1]
+        # the fallback materialised one per-slot context per slot, in order,
+        # and interleaved the notification hook exactly like the slot path
+        assert adversary.calls == [(10, 0, 1), (11, 1, None), (12, 2, 0)]
+        assert adversary.notified == [(0, 1, 0), (1, None, None), (2, 0, 1)]
+
+    def test_fallback_skips_silent_slots_for_non_inserting_adversaries(self):
+        adversary = _PerSlotOnlyAdversary()
+        adversary.may_insert = False
+        delivered = adversary.corrupt_window(_window_ctx(), [None, 1, None])
+        assert delivered == [None, 0, None]
+        assert adversary.calls == [(1, 1, 1)]
+
+    def test_window_context_slot_materialisation(self):
+        ctx = _window_ctx(link=(3, 5), phase="rewind", iteration=7, base_round=100)
+        slot = ctx.slot(4)
+        assert slot == TransmissionContext(
+            round_index=104, sender=3, receiver=5, phase="rewind", iteration=7, slot_index=4
+        )
+        assert ctx.sender == 3 and ctx.receiver == 5
+
+    def test_window_context_equality_and_hash(self):
+        a = _window_ctx(link=(0, 1), phase="simulation", iteration=1, base_round=4)
+        b = _window_ctx(link=(0, 1), phase="simulation", iteration=1, base_round=4)
+        c = _window_ctx(link=(1, 0), phase="simulation", iteration=1, base_round=4)
+        assert a == b and a != c
+        assert hash(a) == hash(b)
+        assert {a, b, c} == {a, c}

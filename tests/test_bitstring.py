@@ -14,6 +14,7 @@ from repro.utils.bitstring import (
     int_to_bits,
     longest_common_prefix_length,
     parity,
+    symbol_to_bit,
     symbols_to_bits,
     xor_bits,
 )
@@ -86,6 +87,11 @@ class TestSymbolsAndPrefix:
     def test_symbols_to_bits_fills_erasures(self):
         assert symbols_to_bits([1, None, 0]) == [1, 0, 0]
         assert symbols_to_bits([None], erasure_fill=1) == [1]
+
+    def test_symbol_to_bit_matches_sequence_helper(self):
+        for symbol in (0, 1, None):
+            assert [symbol_to_bit(symbol)] == symbols_to_bits([symbol])
+        assert symbol_to_bit(None, erasure_fill=1) == 1
 
     def test_longest_common_prefix(self):
         assert longest_common_prefix_length("abcd", "abxy") == 2

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.network.channel import (
     ChannelStats,
     TransmissionContext,
+    WindowContext,
     apply_additive_noise,
     classify_corruption,
 )
@@ -100,3 +103,46 @@ class TestChannelStats:
         assert snapshot["transmissions"] == 1
         assert snapshot["corruptions"] == 0
         assert "noise_fraction" in snapshot
+
+
+class TestRecordWindow:
+    def _window_ctx(self, link=(0, 1), phase="simulation"):
+        return WindowContext(link=link, phase=phase, iteration=2, base_round=5)
+
+    def test_counts_one_window_like_per_slot_records(self):
+        ctx = self._window_ctx()
+        sent = [1, 0, None, 1, None]
+        received = [1, 1, None, None, 0]  # clean, substitution, clean, deletion, insertion
+        windowed = ChannelStats()
+        windowed.record_window(ctx, sent, received)
+        per_slot = ChannelStats()
+        for offset, (s, r) in enumerate(zip(sent, received)):
+            per_slot.record(ctx.slot(offset), s, r)
+        assert windowed == per_slot
+        assert windowed.transmissions == 3
+        assert windowed.delivered_symbols == 3
+        assert windowed.corruptions == 3
+
+    def test_all_silent_window_is_a_no_op(self):
+        stats = ChannelStats()
+        stats.record_window(self._window_ctx(), [None] * 4, [None] * 4)
+        assert stats == ChannelStats()
+
+    def test_matches_per_slot_on_random_windows(self):
+        rng = random.Random(13)
+        windowed = ChannelStats()
+        per_slot = ChannelStats()
+        for index in range(50):
+            ctx = WindowContext(
+                link=(rng.randint(0, 3), rng.randint(4, 7)),
+                phase=rng.choice(["simulation", "meeting_points", "rewind"]),
+                iteration=index,
+                base_round=3 * index,
+            )
+            width = rng.randint(0, 10)
+            sent = [rng.choice([0, 1, None]) for _ in range(width)]
+            received = [rng.choice([0, 1, None]) for _ in range(width)]
+            windowed.record_window(ctx, sent, received)
+            for offset, (s, r) in enumerate(zip(sent, received)):
+                per_slot.record(ctx.slot(offset), s, r)
+        assert windowed == per_slot

@@ -1,13 +1,35 @@
-"""Unit tests for the synchronous noisy transport."""
+"""Unit tests for the synchronous noisy transport.
+
+The second half of this file is the property-style equivalence suite of the
+batched window path: random graphs, random window sequences and many seeds
+run through both ``exchange_window`` (batched) and
+``exchange_window_per_slot`` (the single-slot reference) for every stock
+adversary, asserting identical deliveries, identical ``ChannelStats``,
+identical clock, and identical adversary-internal state (budgets, cursors,
+RNG streams).
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from repro.adversary.base import NoiselessAdversary
-from repro.adversary.strategies import DeletionAdversary, RandomNoiseAdversary
-from repro.network.topologies import line_topology
+from repro.adversary.base import Adversary, NoiseBudget, NoiselessAdversary
+from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
+from repro.adversary.strategies import (
+    BurstAdversary,
+    CompositeAdversary,
+    DeletionAdversary,
+    EchoSpoofingAdversary,
+    LinkTargetedAdversary,
+    PhaseTargetedAdaptiveAdversary,
+    RandomNoiseAdversary,
+    RotatingLinkAdaptiveAdversary,
+)
+from repro.network.topologies import line_topology, random_connected_topology
 from repro.network.transport import NoisyNetwork
+from repro.utils.rng import make_rng
 
 
 class TestTransmit:
@@ -82,3 +104,249 @@ class TestExchangeWindow:
         received = network.exchange_window({}, window_rounds=4, phase="simulation")
         assert all(symbols == [None] * 4 for symbols in received.values())
         assert network.stats.transmissions == 0
+
+    def test_rejects_unknown_link_keys(self):
+        """Messages keyed on non-edges used to be silently dropped; now they raise."""
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError, match="unknown link"):
+            network.exchange_window({(0, 2): [1]}, window_rounds=1, phase="simulation")
+        # nothing was transmitted and the clock did not move
+        assert network.stats.transmissions == 0
+        assert network.current_round == 0
+
+    def test_rejects_unknown_link_keys_per_slot_path(self):
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError, match="unknown link"):
+            network.exchange_window_per_slot({(2, 0): [1]}, window_rounds=1, phase="simulation")
+
+    def test_rejects_invalid_symbols_in_messages(self):
+        network = NoisyNetwork(line_topology(3))
+        with pytest.raises(ValueError, match="invalid channel symbol"):
+            network.exchange_window({(0, 1): [7]}, window_rounds=1, phase="simulation")
+
+    def test_rejects_notify_override_on_inherited_native_corrupt_window(self):
+        """Subclassing a stock adversary's corrupt_window past a notify hook
+        would silently skip notifications on the batched path — the network
+        refuses the pairing at construction time."""
+
+        class WatchingRandomNoise(RandomNoiseAdversary):
+            def notify_delivery(self, ctx, sent, received):
+                pass  # pretend to record traffic
+
+        with pytest.raises(ValueError, match="overrides notify_delivery"):
+            NoisyNetwork(
+                line_topology(3),
+                adversary=WatchingRandomNoise(corruption_probability=0.1, seed=0),
+            )
+
+        class RepairedWatchingRandomNoise(WatchingRandomNoise):
+            corrupt_window = Adversary.corrupt_window  # restore the fallback
+
+        NoisyNetwork(
+            line_topology(3),
+            adversary=RepairedWatchingRandomNoise(corruption_probability=0.1, seed=0),
+        )
+
+    def test_adversary_cannot_mutate_the_sent_record(self):
+        """The window reaches the adversary as an immutable tuple, so in-place
+        mutation (which would corrupt the accounting's sent record) fails loudly."""
+
+        class InPlaceAdversary(NoiselessAdversary):
+            def corrupt_window(self, ctx, symbols):
+                symbols[0] = 1 - symbols[0]  # type: ignore[index]
+                return list(symbols)
+
+        network = NoisyNetwork(line_topology(3), adversary=InPlaceAdversary())
+        with pytest.raises(TypeError):
+            network.exchange_window({(0, 1): [1]}, window_rounds=1, phase="simulation")
+
+    def test_adversary_returning_its_input_still_accounts_correctly(self):
+        """Returning the input tuple unchanged is normalised to a clean list."""
+
+        class EchoAdversary(NoiselessAdversary):
+            def corrupt_window(self, ctx, symbols):
+                return symbols
+
+        network = NoisyNetwork(line_topology(3), adversary=EchoAdversary())
+        received = network.exchange_window({(0, 1): [1, 0]}, window_rounds=2, phase="simulation")
+        assert received[(0, 1)] == [1, 0]
+        assert isinstance(received[(0, 1)], list)
+        assert network.stats.transmissions == 2
+        assert network.stats.corruptions == 0
+
+    def test_per_slot_path_matches_on_simple_window(self):
+        batched = NoisyNetwork(line_topology(3))
+        per_slot = NoisyNetwork(line_topology(3))
+        messages = {(0, 1): [1, 0, None], (1, 2): [1]}
+        a = batched.exchange_window(messages, 3, phase="simulation")
+        b = per_slot.exchange_window_per_slot(messages, 3, phase="simulation")
+        assert a == b
+        assert batched.stats == per_slot.stats
+        assert batched.current_round == per_slot.current_round
+
+
+# --------------------------------------------------------------------------
+# Property-style equivalence of the batched and per-slot transmission paths.
+# --------------------------------------------------------------------------
+
+def _random_graph(rng: random.Random):
+    num_nodes = rng.randint(2, 7)
+    return random_connected_topology(
+        num_nodes, edge_probability=rng.choice([0.0, 0.3, 0.8]), rng=rng
+    )
+
+
+def _random_messages(rng: random.Random, graph, window_rounds: int):
+    """A random (possibly sparse, possibly ragged) window workload."""
+    messages = {}
+    for link in graph.directed_edges():
+        roll = rng.random()
+        if roll < 0.3:
+            continue  # silent link
+        length = rng.randint(0, window_rounds)
+        messages[link] = [rng.choice([0, 1, None]) for _ in range(length)]
+    return messages
+
+
+def _random_oblivious_pattern(rng: random.Random, graph, values):
+    pattern = {}
+    links = graph.directed_edges()
+    for _ in range(rng.randint(0, 12)):
+        key = (rng.randint(0, 40), *rng.choice(links))
+        pattern[key] = rng.choice(values)
+    return pattern
+
+
+def _adversary_state(adversary: Adversary):
+    """Everything observable about an adversary's mutable state."""
+    state = {}
+    for name in ("budget", "_budget"):
+        budget = getattr(adversary, name, None)
+        if isinstance(budget, NoiseBudget):
+            state[name] = (budget.transmissions_seen, budget.corruptions_spent)
+    for name in ("_spent", "_cursor", "_pending_spoof"):
+        if hasattr(adversary, name):
+            state[name] = getattr(adversary, name)
+    rng = getattr(adversary, "_rng", None)
+    if rng is not None:
+        state["_rng"] = rng.getstate()
+    if isinstance(adversary, CompositeAdversary):
+        state["components"] = [_adversary_state(component) for component in adversary.components]
+    return state
+
+
+def _composite_builder(seed: int) -> Adversary:
+    return CompositeAdversary(
+        components=(
+            RandomNoiseAdversary(
+                corruption_probability=0.1, insertion_probability=0.05, seed=seed
+            ),
+            DeletionAdversary(deletion_probability=0.1, seed=seed + 1),
+            LinkTargetedAdversary(target=(0, 1), fraction=0.2, seed=seed + 2),
+        )
+    )
+
+
+#: One builder per stock adversary configuration; each takes (seed, graph, rng)
+#: and must build a fresh, identically-initialised instance on every call.
+STOCK_ADVERSARIES = {
+    "noiseless": lambda seed, graph, rng: NoiselessAdversary(),
+    "additive-oblivious": lambda seed, graph, rng: AdditiveObliviousAdversary(
+        pattern=_random_oblivious_pattern(rng, graph, values=(1, 2))
+    ),
+    "fixing-oblivious": lambda seed, graph, rng: FixingObliviousAdversary(
+        pattern=_random_oblivious_pattern(rng, graph, values=(0, 1, None))
+    ),
+    "random-noise": lambda seed, graph, rng: RandomNoiseAdversary(
+        corruption_probability=0.15, seed=seed
+    ),
+    "random-noise-inserting": lambda seed, graph, rng: RandomNoiseAdversary(
+        corruption_probability=0.1, insertion_probability=0.08, seed=seed
+    ),
+    "random-noise-budgeted": lambda seed, graph, rng: RandomNoiseAdversary(
+        corruption_probability=0.5,
+        insertion_probability=0.2,
+        seed=seed,
+        budget=NoiseBudget(fraction=0.1, absolute_allowance=2),
+    ),
+    "link-targeted": lambda seed, graph, rng: LinkTargetedAdversary(
+        target=(0, 1), fraction=0.3, seed=seed
+    ),
+    "link-targeted-capped": lambda seed, graph, rng: LinkTargetedAdversary(
+        target=(0, 1), max_corruptions=3, phases=("simulation",), seed=seed
+    ),
+    "burst": lambda seed, graph, rng: BurstAdversary(
+        start_round=2, end_round=9, max_corruptions=6, seed=seed
+    ),
+    "deletion": lambda seed, graph, rng: DeletionAdversary(
+        deletion_probability=0.2, seed=seed
+    ),
+    "deletion-budgeted": lambda seed, graph, rng: DeletionAdversary(
+        deletion_probability=0.6, seed=seed, budget=NoiseBudget(fraction=0.15)
+    ),
+    "composite": lambda seed, graph, rng: _composite_builder(seed),
+    "adaptive-phase-targeted": lambda seed, graph, rng: PhaseTargetedAdaptiveAdversary(
+        fraction=0.2, phases=("meeting_points", "simulation"), seed=seed
+    ),
+    "adaptive-rotating-link": lambda seed, graph, rng: RotatingLinkAdaptiveAdversary(
+        links=tuple(graph.directed_edges()), fraction=0.3, seed=seed
+    ),
+    "echo-spoofing": lambda seed, graph, rng: EchoSpoofingAdversary(
+        target=(0, 1), fraction=0.4, seed=seed
+    ),
+}
+
+_PHASES = ("randomness_exchange", "meeting_points", "flag_passing", "simulation", "rewind")
+
+
+@pytest.mark.parametrize("adversary_name", sorted(STOCK_ADVERSARIES))
+def test_batched_path_is_bit_identical_to_per_slot_path(adversary_name):
+    """The tentpole guarantee: same deliveries, stats and budgets on both paths."""
+    builder = STOCK_ADVERSARIES[adversary_name]
+    for trial in range(8):
+        layout_rng = make_rng(1000 * trial + 7)
+        graph = _random_graph(layout_rng)
+        # Two adversaries built identically (same seeds, same patterns): one
+        # per path.  The pattern-drawing RNG must be forked per build so both
+        # instances see the same draws.
+        pattern_seed = layout_rng.randint(0, 2**31)
+        batched_adversary = builder(trial, graph, make_rng(pattern_seed))
+        per_slot_adversary = builder(trial, graph, make_rng(pattern_seed))
+
+        batched = NoisyNetwork(graph, adversary=batched_adversary)
+        per_slot = NoisyNetwork(graph, adversary=per_slot_adversary)
+
+        # A short session of consecutive windows with varying widths/phases,
+        # driven by one traffic RNG so both paths see identical messages.
+        traffic_seed = layout_rng.randint(0, 2**31)
+        traffic_rng = make_rng(traffic_seed)
+        for step in range(5):
+            window_rounds = traffic_rng.choice([0, 1, 1, 2, 5, 9])
+            phase = traffic_rng.choice(_PHASES)
+            iteration = step
+            messages = _random_messages(traffic_rng, graph, window_rounds)
+            delivered_batched = batched.exchange_window(messages, window_rounds, phase, iteration)
+            delivered_per_slot = per_slot.exchange_window_per_slot(
+                messages, window_rounds, phase, iteration
+            )
+            assert delivered_batched == delivered_per_slot, (
+                f"{adversary_name}: deliveries diverged (trial {trial}, step {step})"
+            )
+        assert batched.stats == per_slot.stats, f"{adversary_name}: stats diverged (trial {trial})"
+        assert batched.current_round == per_slot.current_round
+        assert _adversary_state(batched_adversary) == _adversary_state(per_slot_adversary), (
+            f"{adversary_name}: adversary state diverged (trial {trial})"
+        )
+
+
+def test_batched_flag_routes_through_per_slot_path():
+    """`NoisyNetwork.batched = False` makes exchange_window use the reference path."""
+    graph = line_topology(3)
+    a = NoisyNetwork(graph, adversary=RandomNoiseAdversary(corruption_probability=0.3, seed=5))
+    b = NoisyNetwork(graph, adversary=RandomNoiseAdversary(corruption_probability=0.3, seed=5))
+    b.batched = False
+    messages = {(0, 1): [1, 0, 1, 1], (2, 1): [0, 0, 1]}
+    assert a.exchange_window(messages, 4, "simulation") == b.exchange_window(
+        messages, 4, "simulation"
+    )
+    assert a.stats == b.stats
