@@ -16,7 +16,6 @@ Paper claims being made measurable:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.ablations import (
     chunk_size_ablation,

@@ -10,7 +10,6 @@ level and collapses far above it (the crossover sits at some multiplier > 1).
 
 from __future__ import annotations
 
-import pytest
 
 
 from repro.core.parameters import crs_oblivious_scheme

@@ -11,7 +11,6 @@ network sizes stays within a constant band.
 
 from __future__ import annotations
 
-import pytest
 
 
 from repro.core.parameters import algorithm_a, crs_oblivious_scheme

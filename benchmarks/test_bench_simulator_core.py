@@ -87,11 +87,11 @@ def test_batched_window_transport_speedup(benchmark, run_once):
     sim = InteractiveCodingSimulator(workload.protocol, scheme=scheme, adversary=factory(0), seed=0)
     original = sim.network.exchange_window
 
-    def spy(messages, window_rounds, phase, iteration=-1):
+    def spy(messages, window_rounds, phase, iteration=-1, sparse=False):
         captured.append(
             ({link: list(symbols) for link, symbols in messages.items()}, window_rounds, phase, iteration)
         )
-        return original(messages, window_rounds, phase, iteration)
+        return original(messages, window_rounds, phase, iteration, sparse=sparse)
 
     sim.network.exchange_window = spy
     assert sim.run().success

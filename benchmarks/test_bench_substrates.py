@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.coding.block_code import BinaryBlockCode
 from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash, fingerprint_bits

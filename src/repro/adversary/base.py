@@ -30,8 +30,8 @@ adaptive-length settings discussed in §2.1.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.network.channel import Symbol, TransmissionContext, WindowContext
 

@@ -21,7 +21,7 @@ attacks on the randomness-exchange prefix, ...) live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.adversary.base import Adversary
 from repro.network.channel import (

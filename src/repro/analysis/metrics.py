@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
 from statistics import mean
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from repro.core.transcript import LinkTranscript
-from repro.network.graph import Graph, edge_key
+from repro.network.graph import Graph
 
 #: Default value of the proof constant C1 used by the simplified potential.
 DEFAULT_C1 = 2.0

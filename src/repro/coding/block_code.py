@@ -22,7 +22,7 @@ requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.coding.reed_solomon import DecodingError, ReedSolomonCode
 from repro.utils.bitstring import Symbol

@@ -23,8 +23,8 @@ dummy chunks").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.network.graph import DirectedEdge, Graph, edge_key
 from repro.protocols.base import Protocol

@@ -26,16 +26,32 @@ our source, see DESIGN.md):
 A single exchange costs ``3τ`` bits per direction, τ being the hash output
 length, so a consistency phase over the whole network costs Θ(τ·m) bits, as
 required for the constant-rate accounting.
+
+Two hashing paths produce the wire messages:
+
+* the **fast path** (default): one batched
+  :meth:`~repro.hashing.seeds.SeedSource.seeds_for_iteration` call per
+  iteration, the three prefix digests computed in one
+  :meth:`~repro.hashing.inner_product.InnerProductHash.digest_many` pass over
+  the shared seed, and digests kept as packed integers end to end (one
+  ``int_to_bits`` per outgoing message, no per-digest tuple churn);
+* the **reference path** (``fast_hashing=False``): the original per-call
+  derivation — one ``seed_for`` per hash, one ``digest`` per value, bit-tuple
+  internals.
+
+Both paths emit identical wire bits and make identical decisions — pinned by
+``tests/test_hashing_equivalence.py`` over random transcripts, seeds and
+corrupted replies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.transcript import LinkTranscript
 from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash, fingerprint_bits
-from repro.hashing.seeds import SeedSource
+from repro.hashing.seeds import SeedLayout, SeedSource, seed_layout
 from repro.network.channel import Symbol
 from repro.utils.bitstring import bits_to_int, bytes_to_bits, int_to_bits
 
@@ -46,6 +62,11 @@ STATUS_MEETING_POINTS = "meeting points"
 _COUNTER_BITS = 32
 #: Maximum raw-serialisation width (bits) before falling back to fingerprints.
 _RAW_INPUT_CAP_BITS = 4096
+
+#: A stored digest: packed integer on the fast path, bit tuple on the
+#: reference path.  Both support the equality/membership tests the decision
+#: logic performs.
+_Digest = Union[int, Tuple[int, ...]]
 
 
 @dataclass
@@ -67,6 +88,10 @@ class MeetingPointsSession:
     hasher: InnerProductHash
     seed_source: SeedSource
     hash_input_mode: str = "fingerprint"
+    #: Route hashing through the batched fast path (seeds_for_iteration +
+    #: digest_many + packed digests).  ``False`` selects the original per-call
+    #: reference path; the two are bit-identical on the wire.
+    fast_hashing: bool = True
 
     k: int = 0
     error_count: int = 0
@@ -82,10 +107,12 @@ class MeetingPointsSession:
     _mp1: int = 0
     _mp2: int = 0
     _k_tilde: int = 1
-    _own_counter_hash: Tuple[int, ...] = ()
-    _own_full_hash: Tuple[int, ...] = ()
-    _own_mp1_hash: Tuple[int, ...] = ()
-    _own_mp2_hash: Tuple[int, ...] = ()
+    _own_counter_hash: _Digest = ()
+    _own_full_hash: _Digest = ()
+    _own_mp1_hash: _Digest = ()
+    _own_mp2_hash: _Digest = ()
+    #: Interned per-input-width seed layouts (fast path only).
+    _layouts: Dict[int, SeedLayout] = field(default_factory=dict, repr=False)
 
     # -- message construction ----------------------------------------------------
 
@@ -108,6 +135,9 @@ class MeetingPointsSession:
         self._mp1 = self._k_tilde * (length // self._k_tilde)
         self._mp2 = max(self._mp1 - self._k_tilde, 0)
 
+        if self.fast_hashing:
+            return self._build_message_fast(iteration, transcript, length)
+
         self._own_counter_hash = self._hash_counter(iteration, self.k)
         self._own_full_hash = self._hash_prefix(iteration, transcript, length)
         self._own_mp1_hash = self._hash_prefix(iteration, transcript, self._mp1)
@@ -119,6 +149,68 @@ class MeetingPointsSession:
             + list(self._own_mp2_hash)
         )
 
+    def _build_message_fast(
+        self, iteration: int, transcript: LinkTranscript, length: int
+    ) -> List[int]:
+        """The batched path: one seed derivation, one multi-value digest pass."""
+        hasher = self.hasher
+        tau = hasher.output_bits
+        values: List[int] = []
+        widths: List[int] = []
+        for num_chunks in (length, self._mp1, self._mp2):
+            value, input_bits = self._prefix_hash_input(transcript, num_chunks)
+            values.append(value)
+            widths.append(input_bits)
+        counter_value = self.k & ((1 << _COUNTER_BITS) - 1)
+
+        if widths[0] == widths[1] == widths[2]:
+            counter_seed, prefix_seed, _ = self.seed_source.seeds_for_iteration(
+                iteration, self._layout_for(widths[0])
+            )
+            counter_digest = hasher.digest(counter_value, _COUNTER_BITS, counter_seed)
+            full_digest, mp1_digest, mp2_digest = hasher.digest_many(
+                values, widths[0], prefix_seed
+            )
+        else:
+            # Mixed raw/fingerprint widths (only reachable in "raw" mode on
+            # tiny instances): fall back to per-call seeds for this exchange.
+            counter_seed = self.seed_source.seed_for(
+                iteration, "mp_counter", hasher.seed_bits_required(_COUNTER_BITS)
+            )
+            counter_digest = hasher.digest(counter_value, _COUNTER_BITS, counter_seed)
+            full_digest, mp1_digest, mp2_digest = (
+                hasher.digest(
+                    value,
+                    input_bits,
+                    self.seed_source.seed_for(
+                        iteration, "mp_prefix", hasher.seed_bits_required(input_bits)
+                    ),
+                )
+                for value, input_bits in zip(values, widths)
+            )
+
+        self._own_counter_hash = counter_digest
+        self._own_full_hash = full_digest
+        self._own_mp1_hash = mp1_digest
+        self._own_mp2_hash = mp2_digest
+        combined = (
+            counter_digest
+            | (full_digest << tau)
+            | (mp1_digest << (2 * tau))
+            | (mp2_digest << (3 * tau))
+        )
+        return int_to_bits(combined, 4 * tau)
+
+    def _layout_for(self, prefix_input_bits: int) -> SeedLayout:
+        layout = self._layouts.get(prefix_input_bits)
+        if layout is None:
+            layout = seed_layout(
+                mp_counter=self.hasher.seed_bits_required(_COUNTER_BITS),
+                mp_prefix=self.hasher.seed_bits_required(prefix_input_bits),
+            )
+            self._layouts[prefix_input_bits] = layout
+        return layout
+
     # -- reply processing ---------------------------------------------------------
 
     def process_reply(
@@ -129,10 +221,16 @@ class MeetingPointsSession:
     ) -> MeetingPointsOutcome:
         """Digest the other side's hashes and decide status / truncation."""
         tau = self.hasher.output_bits
-        their_counter = self._clean_group(received, 0, tau)
-        their_full = self._clean_group(received, tau, tau)
-        their_mp1 = self._clean_group(received, 2 * tau, tau)
-        their_mp2 = self._clean_group(received, 3 * tau, tau)
+        if self.fast_hashing:
+            their_counter: Optional[_Digest] = self._clean_group_packed(received, 0, tau)
+            their_full: Optional[_Digest] = self._clean_group_packed(received, tau, tau)
+            their_mp1: Optional[_Digest] = self._clean_group_packed(received, 2 * tau, tau)
+            their_mp2: Optional[_Digest] = self._clean_group_packed(received, 3 * tau, tau)
+        else:
+            their_counter = self._clean_group(received, 0, tau)
+            their_full = self._clean_group(received, tau, tau)
+            their_mp1 = self._clean_group(received, 2 * tau, tau)
+            their_mp2 = self._clean_group(received, 3 * tau, tau)
 
         outcome = MeetingPointsOutcome(status=STATUS_MEETING_POINTS)
         outcome.k_agreed = their_counter is not None and their_counter == self._own_counter_hash
@@ -205,6 +303,29 @@ class MeetingPointsSession:
             return None
         return tuple(map(int, group))
 
+    @staticmethod
+    def _clean_group_packed(received: Sequence[Symbol], start: int, length: int) -> Optional[int]:
+        """Like :meth:`_clean_group` but packed; ``None`` if any bit is missing."""
+        if len(received) < start + length:
+            return None
+        value = 0
+        for offset in range(length):
+            symbol = received[start + offset]
+            if symbol is None:
+                return None
+            if symbol:
+                value |= 1 << offset
+        return value
+
+    def _prefix_hash_input(
+        self, transcript: LinkTranscript, num_chunks: int
+    ) -> Tuple[int, int]:
+        """The packed hash input and its width for one transcript prefix."""
+        serialized = transcript.serialize_prefix(num_chunks)
+        if self.hash_input_mode == "raw" and len(serialized) * 8 <= _RAW_INPUT_CAP_BITS:
+            return bits_to_int(bytes_to_bits(serialized)), _RAW_INPUT_CAP_BITS
+        return fingerprint_bits(serialized), FINGERPRINT_BITS
+
     def _hash_counter(self, iteration: int, value: int) -> Tuple[int, ...]:
         seed = self.seed_source.seed_for(
             iteration, "mp_counter", self.hasher.seed_bits_required(_COUNTER_BITS)
@@ -213,13 +334,7 @@ class MeetingPointsSession:
         return self._unpack(digest)
 
     def _hash_prefix(self, iteration: int, transcript: LinkTranscript, num_chunks: int) -> Tuple[int, ...]:
-        serialized = transcript.serialize_prefix(num_chunks)
-        if self.hash_input_mode == "raw" and len(serialized) * 8 <= _RAW_INPUT_CAP_BITS:
-            value = bits_to_int(bytes_to_bits(serialized))
-            input_bits = _RAW_INPUT_CAP_BITS
-        else:
-            value = fingerprint_bits(serialized)
-            input_bits = FINGERPRINT_BITS
+        value, input_bits = self._prefix_hash_input(transcript, num_chunks)
         seed = self.seed_source.seed_for(
             iteration, "mp_prefix", self.hasher.seed_bits_required(input_bits)
         )

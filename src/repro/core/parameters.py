@@ -28,7 +28,7 @@ record the paper's values in the docstrings (see DESIGN.md §3, substitution 1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.network.graph import Graph

@@ -87,10 +87,17 @@ def run_randomness_exchange(
 
         sender_seed = bits_to_int(sender_bits)
         receiver_seed = bits_to_int(receiver_bits)
-        report.seed_sources[(u, v)] = ExchangedSeedSource(
+        sender_source = ExchangedSeedSource(
             link_seed=sender_seed, field_degree=field_degree, slot_capacity_bits=slot_capacity_bits
         )
-        report.seed_sources[(v, u)] = ExchangedSeedSource(
+        receiver_source = ExchangedSeedSource(
             link_seed=receiver_seed, field_degree=field_degree, slot_capacity_bits=slot_capacity_bits
         )
+        if receiver_seed == sender_seed:
+            # The exchange succeeded: both endpoints expand the same δ-biased
+            # string, so they can share one generator (and its lazily-built
+            # expansion tables).  Each keeps its own per-slot cache.
+            receiver_source.share_generator_with(sender_source)
+        report.seed_sources[(u, v)] = sender_source
+        report.seed_sources[(v, u)] = receiver_source
     return report

@@ -17,11 +17,10 @@ received so far.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.network.channel import Symbol
-from repro.utils.bitstring import longest_common_prefix_length
 
 
 def _symbol_char(symbol: Symbol) -> str:

@@ -22,7 +22,7 @@ rows; ``examples/reproduce_table1.py`` prints the full table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversary.base import Adversary
@@ -36,7 +36,7 @@ from repro.baselines.repetition import run_repetition
 from repro.baselines.uncoded import run_uncoded
 from repro.core.parameters import SchemeParameters, algorithm_a, algorithm_b, algorithm_c
 from repro.experiments.factories import BoundFractionFactory
-from repro.experiments.harness import TrialSet, run_trials
+from repro.experiments.harness import run_trials
 from repro.experiments.workloads import Workload, gossip_workload
 
 #: The prior-work rows exactly as they appear in the paper's Table 1.

@@ -14,7 +14,7 @@ Three figure-style series:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.adversary.oblivious import AdditiveObliviousAdversary
 from repro.adversary.strategies import CompositeAdversary, RandomNoiseAdversary
@@ -26,7 +26,7 @@ from repro.experiments.factories import (
     RandomNoiseFactory,
 )
 from repro.experiments.harness import run_trials
-from repro.experiments.workloads import Workload, gossip_workload
+from repro.experiments.workloads import gossip_workload
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,7 @@ structure-free random protocols.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.network.graph import Graph
 from repro.network.topologies import build_topology

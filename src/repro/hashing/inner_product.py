@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.utils.bitstring import bits_to_int
 
@@ -80,6 +80,32 @@ class InnerProductHash:
             if (block & value).bit_count() & 1:
                 out |= 1 << j
         return out
+
+    def digest_many(self, values: Sequence[int], input_bits: int, seed: int) -> Tuple[int, ...]:
+        """Hash several packed inputs with the *same* packed seed in one pass.
+
+        The meeting-points exchange hashes three transcript prefixes per
+        iteration with one shared seed; extracting each of the seed's
+        ``output_bits`` blocks once and applying it to every value amortises
+        the big-integer shifts that dominate :meth:`digest`.  Bit-identical to
+        ``tuple(digest(v, input_bits, seed) for v in values)`` (pinned by the
+        hashing equivalence suite).
+        """
+        if seed < 0 or seed >= (1 << self.seed_bits_required(input_bits)):
+            raise ValueError("seed does not fit in the required seed length")
+        cap = 1 << input_bits
+        for value in values:
+            if value < 0 or value >= cap:
+                raise ValueError("value does not fit in input_bits bits")
+        mask = cap - 1
+        outs = [0] * len(values)
+        for j in range(self.output_bits):
+            block = (seed >> (j * input_bits)) & mask
+            bit = 1 << j
+            for index, value in enumerate(values):
+                if (block & value).bit_count() & 1:
+                    outs[index] |= bit
+        return tuple(outs)
 
     def digest_bits(self, bits: Sequence[int], seed: int) -> List[int]:
         """Hash a bit list; returns the output as a bit list (LSB first)."""

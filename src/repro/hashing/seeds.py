@@ -16,20 +16,73 @@ link).  Two endpoints produce identical bits iff they hold identical
 underlying randomness, which is exactly the property the analysis needs: a
 corrupted randomness exchange desynchronises every subsequent hash comparison
 on that link (the ``E \\ E'`` case of Section 5).
+
+Two access paths exist:
+
+* the **per-call reference path**: :meth:`SeedSource.seed_for` derives one
+  (iteration, purpose) slot at a time — this is the original (pre-fast-path)
+  derivation and its bit streams are frozen;
+* the **batched fast path**: :meth:`SeedSource.seeds_for_iteration` derives
+  every slot of an interned :class:`SeedLayout` in one expansion pass.  The
+  native overrides (one incremental label hash per iteration for the CRS
+  source, one contiguous δ-biased read per iteration for the exchanged
+  source) produce *exactly* the same bits as the per-call path — pinned by
+  ``tests/test_hashing_equivalence.py``.
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.hashing.small_bias import SmallBiasGenerator
-from repro.utils.rng import fork, random_bitstring_int
+from repro.utils.rng import FORK_MULTIPLIER, FORK_SEED_MASK, fork, make_rng, random_bitstring_int
 
 #: Purposes for which per-iteration seeds are drawn, with fixed indices so
 #: both endpoints carve identical ranges out of the expanded string.
 SEED_PURPOSES: Tuple[str, ...] = ("mp_counter", "mp_prefix", "extra")
+
+
+@dataclass(frozen=True)
+class SeedLayout:
+    """How many seed bits each :data:`SEED_PURPOSES` slot needs per iteration.
+
+    A layout is the unit of the batched seed contract: handing the same
+    (interned) layout to :meth:`SeedSource.seeds_for_iteration` on both
+    endpoints of a link guarantees they carve identical slots.  A length of
+    zero marks a purpose the caller does not use; no bits are derived for it.
+    """
+
+    lengths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lengths) != len(SEED_PURPOSES):
+            raise ValueError(
+                f"layout must give one length per purpose {SEED_PURPOSES}, got {self.lengths}"
+            )
+        if any(length < 0 for length in self.lengths):
+            raise ValueError("seed lengths must be non-negative")
+
+
+_LAYOUT_CACHE: Dict[Tuple[int, ...], SeedLayout] = {}
+
+
+def seed_layout(**lengths_by_purpose: int) -> SeedLayout:
+    """Build (and intern) a :class:`SeedLayout` from per-purpose bit lengths.
+
+    >>> seed_layout(mp_counter=256, mp_prefix=1024) is seed_layout(mp_prefix=1024, mp_counter=256)
+    True
+    """
+    unknown = set(lengths_by_purpose) - set(SEED_PURPOSES)
+    if unknown:
+        raise ValueError(f"unknown seed purposes {sorted(unknown)}; known: {SEED_PURPOSES}")
+    lengths = tuple(lengths_by_purpose.get(purpose, 0) for purpose in SEED_PURPOSES)
+    layout = _LAYOUT_CACHE.get(lengths)
+    if layout is None:
+        layout = _LAYOUT_CACHE[lengths] = SeedLayout(lengths)
+    return layout
 
 
 class SeedSource(abc.ABC):
@@ -38,6 +91,19 @@ class SeedSource(abc.ABC):
     @abc.abstractmethod
     def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
         """Return ``length_bits`` seed bits (packed) for the given slot."""
+
+    def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
+        """All of an iteration's seed slots in one call.
+
+        Returns one packed integer per :data:`SEED_PURPOSES` entry (``None``
+        for slots the layout leaves empty).  This reference implementation
+        simply loops over :meth:`seed_for`; subclasses override it with a
+        single-expansion-pass derivation that is bit-identical.
+        """
+        return tuple(
+            self.seed_for(iteration, purpose, length) if length else None
+            for purpose, length in zip(SEED_PURPOSES, layout.lengths)
+        )
 
     @staticmethod
     def _purpose_index(purpose: str) -> int:
@@ -55,11 +121,26 @@ class CrsSeedSource(SeedSource):
     source with the same master seed and the same canonical link, so they
     derive identical uniform bits.  The adversary never gets access to the
     object, which models obliviousness to the CRS.
+
+    The per-call path forks a child generator per (iteration, purpose) label;
+    the batched path hashes the shared ``crs|link|iteration|`` label prefix
+    once per iteration and extends it per purpose with cheap incremental
+    updates — the resulting child seeds (and therefore the bits) are exactly
+    the per-call ones, because SHA-256 of the concatenated label does not
+    care how the label was chunked.
     """
 
     master_seed: int
     link: Tuple[int, int]
     _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        # Incremental SHA-256 state of the constant label prefix; copied (not
+        # recomputed) for every iteration's derivation.
+        self._link_prefix_hash = hashlib.sha256(f"crs|{self.link}|".encode("utf-8"))
 
     def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
         self._purpose_index(purpose)
@@ -68,6 +149,33 @@ class CrsSeedSource(SeedSource):
             rng = fork(self.master_seed, f"crs|{self.link}|{iteration}|{purpose}")
             self._cache[key] = random_bitstring_int(rng, length_bits)
         return self._cache[key]
+
+    def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
+        batch_key = (iteration, layout)
+        cached = self._batch_cache.get(batch_key)
+        if cached is not None:
+            return cached
+        iteration_hash = self._link_prefix_hash.copy()
+        iteration_hash.update(f"{iteration}|".encode("utf-8"))
+        master = self.master_seed
+        cache = self._cache
+        seeds: List[Optional[int]] = []
+        for purpose, length in zip(SEED_PURPOSES, layout.lengths):
+            if not length:
+                seeds.append(None)
+                continue
+            key = (iteration, purpose, length)
+            value = cache.get(key)
+            if value is None:
+                purpose_hash = iteration_hash.copy()
+                purpose_hash.update(purpose.encode("utf-8"))
+                label_hash = int.from_bytes(purpose_hash.digest()[:8], "big")
+                child_seed = (master * FORK_MULTIPLIER + label_hash) & FORK_SEED_MASK
+                value = cache[key] = random_bitstring_int(make_rng(child_seed), length)
+            seeds.append(value)
+        result = tuple(seeds)
+        self._batch_cache[batch_key] = result
+        return result
 
 
 @dataclass
@@ -82,28 +190,96 @@ class ExchangedSeedSource(SeedSource):
     ``slot_capacity_bits`` is the fixed budget of δ-biased bits reserved per
     (iteration, purpose) slot; the same deterministic layout is used by both
     endpoints, so no coordination is needed.
+
+    The batched path reads all of an iteration's slots in one sequential pass
+    over the δ-biased string (:meth:`SmallBiasGenerator.packed_slots`) —
+    identical bits to per-slot reads because the slot offsets are the same
+    deterministic function of (iteration, purpose) on both paths.
     """
 
     link_seed: int
     field_degree: int = 64
     slot_capacity_bits: int = 4096
+    #: ``False`` expands the δ-biased string through the original per-bit
+    #: field-multiplication loop (the pre-fast-path reference); ``True`` uses
+    #: table-driven stepping.  Bit-identical either way.
+    table_expansion: bool = True
     _generator: SmallBiasGenerator = field(init=False)
     _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
-        self._generator = SmallBiasGenerator(seed_bits=self.link_seed, field_degree=self.field_degree)
+        self._generator = SmallBiasGenerator(
+            seed_bits=self.link_seed,
+            field_degree=self.field_degree,
+            table_stepping=self.table_expansion,
+        )
 
-    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
-        if iteration < 0:
-            raise ValueError("iteration must be non-negative")
+    def share_generator_with(self, other: "ExchangedSeedSource") -> None:
+        """Share the expansion machinery (and derived slots) with a sibling.
+
+        The two endpoints of a link whose randomness exchange succeeded hold
+        the same ``link_seed`` and therefore expand the same δ-biased string;
+        sharing the generator lets them share the lazily-built multiplication
+        tables, and sharing the slot caches means each (iteration, purpose)
+        slot is expanded once per link instead of once per endpoint.  Only
+        valid for equal seeds (the derived values are identical by
+        construction, so aliasing the caches is observationally invisible).
+        """
+        if (other.link_seed, other.field_degree) != (self.link_seed, self.field_degree):
+            raise ValueError("generator sharing requires identical link seeds and field degrees")
+        if (other.slot_capacity_bits, other.table_expansion) != (
+            self.slot_capacity_bits,
+            self.table_expansion,
+        ):
+            raise ValueError("generator sharing requires identical slot layouts and expansion paths")
+        self._generator = other._generator
+        self._cache = other._cache
+        self._batch_cache = other._batch_cache
+
+    def _slot_offset(self, iteration: int, purpose_index: int) -> int:
+        return (iteration * len(SEED_PURPOSES) + purpose_index) * self.slot_capacity_bits
+
+    def _check_length(self, length_bits: int) -> None:
         if length_bits > self.slot_capacity_bits:
             raise ValueError(
                 f"requested {length_bits} seed bits but each slot only holds "
                 f"{self.slot_capacity_bits}; increase slot_capacity_bits"
             )
+
+    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        self._check_length(length_bits)
         purpose_index = self._purpose_index(purpose)
         key = (iteration, purpose, length_bits)
         if key not in self._cache:
-            offset = (iteration * len(SEED_PURPOSES) + purpose_index) * self.slot_capacity_bits
+            offset = self._slot_offset(iteration, purpose_index)
             self._cache[key] = self._generator.packed_bits(offset, length_bits)
         return self._cache[key]
+
+    def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        batch_key = (iteration, layout)
+        cached = self._batch_cache.get(batch_key)
+        if cached is not None:
+            return cached
+        slots: List[Tuple[int, int]] = []
+        occupied: List[Tuple[int, int]] = []  # (purpose_index, length) of non-empty slots
+        for purpose_index, length in enumerate(layout.lengths):
+            if not length:
+                continue
+            self._check_length(length)
+            slots.append((self._slot_offset(iteration, purpose_index), length))
+            occupied.append((purpose_index, length))
+        values = self._generator.packed_slots(slots)
+        seeds: List[Optional[int]] = [None] * len(SEED_PURPOSES)
+        for (purpose_index, length), value in zip(occupied, values):
+            seeds[purpose_index] = value
+            self._cache[(iteration, SEED_PURPOSES[purpose_index], length)] = value
+        result = tuple(seeds)
+        self._batch_cache[batch_key] = result
+        return result

@@ -13,17 +13,21 @@ the first ℓ bits of this generator is at most ℓ / 2^r, so choosing
 matching the seed length ``Θ(log(1/δ) + log ℓ)`` of Lemma 2.5.
 
 ``SmallBiasGenerator`` supports random access (``bit(i)``) and efficient
-sequential block generation (``packed_bits``), which is what the seed
-manager uses to carve per-iteration hash seeds out of the expanded string.
+sequential block generation (``packed_bits`` / ``packed_slots``), which is
+what the seed manager uses to carve per-iteration hash seeds out of the
+expanded string.  Sequential generation steps ``power ← power · y`` through a
+table-driven :class:`~repro.hashing.gf2m.FixedMultiplier` (built lazily on
+first use); the per-bit reference path (:meth:`bits`) keeps the plain
+field-multiplication loop, and the equivalence suite pins the two
+bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence, Tuple
 
-from repro.hashing.gf2m import GF2m
-from repro.utils.bitstring import int_to_bits
+from repro.hashing.gf2m import GF2m, FixedMultiplier
 
 
 def required_field_degree(output_length: int, delta: float) -> int:
@@ -50,6 +54,11 @@ class SmallBiasGenerator:
 
     seed_bits: int
     field_degree: int = 64
+    #: ``False`` routes sequential generation through the original per-bit
+    #: field-multiplication loop instead of the table-driven step — the
+    #: reference path the equivalence suite and the hashing benchmark compare
+    #: against.
+    table_stepping: bool = True
 
     def __post_init__(self) -> None:
         self.field = GF2m(self.field_degree)
@@ -60,6 +69,35 @@ class SmallBiasGenerator:
         # constant after the first bit; both still satisfy the bias bound on
         # average over seeds, but we keep them as-is for faithfulness (the
         # probability of drawing them is 2^-r).
+        self._step: Optional[FixedMultiplier] = None
+        # y^gap values for the skips packed_slots makes between slot reads,
+        # keyed by gap width.  Slot layouts repeat every iteration, so the
+        # distinct gaps (within a layout, and from one iteration's last slot
+        # to the next iteration's first) form a small fixed set.
+        self._jump_cache: dict = {}
+        # (position, y^position) just past the last packed_slots read; lets
+        # the next monotone read resume with one cached jump instead of a
+        # fresh exponentiation.
+        self._cursor: Optional[Tuple[int, int]] = None
+
+    def _step_multiplier(self) -> FixedMultiplier:
+        """The lazily-built table multiplier for the ``· y`` expansion step."""
+        if self._step is None:
+            self._step = self.field.fixed_multiplier(self.y)
+        return self._step
+
+    def _jump(self, power: int, gap: int) -> int:
+        """``power · y^gap`` with the per-gap constant cached (bounded cache:
+        regular slot layouts produce a small fixed set of gaps; irregular
+        access patterns fall back to plain exponentiation)."""
+        if gap == 0:
+            return power
+        constant = self._jump_cache.get(gap)
+        if constant is None:
+            constant = self.field.pow(self.y, gap)
+            if len(self._jump_cache) < 64:
+                self._jump_cache[gap] = constant
+        return self.field.mul(power, constant)
 
     @classmethod
     def from_bit_list(cls, bits: List[int], field_degree: int = 64) -> "SmallBiasGenerator":
@@ -95,12 +133,77 @@ class SmallBiasGenerator:
         return out
 
     def packed_bits(self, offset: int, count: int) -> int:
-        """Same as :meth:`bits` but packed into an integer (bit 0 = first bit)."""
-        value = 0
-        for position, bit in enumerate(self.bits(offset, count)):
-            if bit:
-                value |= 1 << position
+        """Same as :meth:`bits` but packed into an integer (bit 0 = first bit).
+
+        This is the fast sequential path: one table-driven multiply per bit
+        instead of a full field multiplication.  Bit-identical to packing the
+        output of :meth:`bits` (pinned by the hashing equivalence suite); with
+        ``table_stepping=False`` it *is* that packing loop.
+        """
+        if offset < 0 or count < 0:
+            raise ValueError("offset and count must be non-negative")
+        if not self.table_stepping:
+            value = 0
+            for position, bit in enumerate(self.bits(offset, count)):
+                if bit:
+                    value |= 1 << position
+            return value
+        power = self.field.pow(self.y, offset)
+        value, _ = self._read_packed(power, count)
         return value
+
+    def packed_slots(self, offset_lengths: Sequence[Tuple[int, int]]) -> Tuple[int, ...]:
+        """Read several ``(offset, length)`` slots in one sequential pass.
+
+        Slots must be given in increasing-offset order and must not overlap.
+        The generator walks the expanded string once: it raises ``y`` to the
+        first offset, reads the first slot with table-driven stepping, jumps
+        the gap to the next slot with one cached multiplication, and so on.
+        This is what :class:`~repro.hashing.seeds.ExchangedSeedSource` uses to
+        pull a whole iteration's seed slots out of the δ-biased string in one
+        read.
+        """
+        if not self.table_stepping:
+            return tuple(self.packed_bits(offset, count) for offset, count in offset_lengths)
+        values: List[int] = []
+        position: Optional[int] = None
+        power = 0
+        for offset, count in offset_lengths:
+            if offset < 0 or count < 0:
+                raise ValueError("offset and count must be non-negative")
+            if position is None:
+                cursor = self._cursor
+                if cursor is not None and cursor[0] <= offset:
+                    power = self._jump(cursor[1], offset - cursor[0])
+                else:
+                    power = self.field.pow(self.y, offset)
+            elif offset < position:
+                raise ValueError("slots must be given in increasing-offset order")
+            else:
+                power = self._jump(power, offset - position)
+            value, power = self._read_packed(power, count)
+            values.append(value)
+            position = offset + count
+        if position is not None:
+            self._cursor = (position, power)
+        return tuple(values)
+
+    def _read_packed(self, power: int, count: int) -> Tuple[int, int]:
+        """``count`` packed bits starting at ``power = y^offset``; returns
+        the packed value and the power positioned just past the slot."""
+        tables = self._step_multiplier()._tables
+        x = self.x
+        value = 0
+        for position in range(count):
+            if (x & power).bit_count() & 1:
+                value |= 1 << position
+            shifted = power
+            stepped = 0
+            for table in tables:
+                stepped ^= table[shifted & 0xFF]
+                shifted >>= 8
+            power = stepped
+        return value, power
 
 
 def empirical_bias(bits: List[int]) -> float:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 Edge = Tuple[int, int]
 DirectedEdge = Tuple[int, int]
@@ -48,6 +48,7 @@ class Graph:
         # fingerprinter.
         self._directed_cache: Optional[Tuple[DirectedEdge, ...]] = None
         self._directed_set_cache: Optional[FrozenSet[DirectedEdge]] = None
+        self._directed_index_cache: Optional[Dict[DirectedEdge, int]] = None
 
     # -- construction -----------------------------------------------------
 
@@ -69,6 +70,7 @@ class Graph:
         self._adjacency[v].add(u)
         self._directed_cache = None
         self._directed_set_cache = None
+        self._directed_index_cache = None
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:
@@ -104,6 +106,19 @@ class Graph:
         cached = self._directed_set_cache
         if cached is None:
             cached = self._directed_set_cache = frozenset(self.directed_edges())
+        return cached
+
+    def directed_edge_index(self) -> Dict[DirectedEdge, int]:
+        """Position of each directed edge within :meth:`directed_edges` (cached).
+
+        The transport uses this to visit a sparse subset of links in the same
+        canonical order as a full scan, without paying for the scan.
+        """
+        cached = self._directed_index_cache
+        if cached is None:
+            cached = self._directed_index_cache = {
+                link: position for position, link in enumerate(self.directed_edges())
+            }
         return cached
 
     def has_edge(self, u: int, v: int) -> bool:

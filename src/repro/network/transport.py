@@ -142,6 +142,7 @@ class NoisyNetwork:
         window_rounds: int,
         phase: str,
         iteration: int = -1,
+        sparse: bool = False,
     ) -> Dict[Tuple[int, int], List[Symbol]]:
         """Run ``window_rounds`` synchronous rounds in which each directed link
         ``(u, v)`` carries the symbol sequence ``messages[(u, v)]`` (padded with
@@ -152,6 +153,15 @@ class NoisyNetwork:
         adversary to *insert* symbols on idle links, exactly as in the paper's
         noise model.  Message keys must be directed links of the network.
         Returns the symbols delivered on every directed link.
+
+        ``sparse=True`` permits (but does not guarantee) omitting silent links
+        from the result when the adversary cannot insert — a silent link under
+        a non-inserting adversary always delivers pure silence, so the caller
+        loses nothing by treating a missing key as an all-``None`` window.
+        The wire behaviour (adversary calls, statistics, clock) is identical;
+        only the shape of the returned mapping changes.  Engine phases that
+        transmit on a handful of links per round use this to skip the
+        O(links) result-building work entirely.
         """
         self._validate_window(messages, window_rounds)
         if not self.batched:
@@ -162,6 +172,7 @@ class NoisyNetwork:
         may_insert = adversary.may_insert
         stats = self.stats
         base_round = self.current_round
+        omit_silent = sparse and not may_insert
         # The adversary sees the window as an immutable tuple, so the sent
         # record used for corruption accounting below cannot be mutated in
         # place — the accounting structurally cannot be bypassed.  The
@@ -169,13 +180,23 @@ class NoisyNetwork:
         silence_tuple = (None,) * window_rounds
         silence_list = [None] * window_rounds
         received: Dict[Tuple[int, int], List[Symbol]] = {}
-        for link in self.graph.directed_edges():
+        if omit_silent:
+            # Silent links are skipped entirely, so only the message links are
+            # visited — in canonical directed-edge order, because stateful
+            # adversaries must see corrupt_window calls in the same sequence
+            # as a full scan would produce.
+            link_index = self.graph.directed_edge_index()
+            links: Sequence[Tuple[int, int]] = sorted(messages, key=link_index.__getitem__)
+        else:
+            links = self.graph.directed_edges()
+        for link in links:
             outgoing = messages.get(link)
             if outgoing is None:
                 if not may_insert:
                     # A non-inserting adversary maps silence to silence; skip
                     # the whole window (the slots carry no bits).
-                    received[link] = [None] * window_rounds
+                    if not omit_silent:
+                        received[link] = [None] * window_rounds
                     continue
                 window_tuple = silence_tuple
                 window = silence_list  # read-only: compared and counted, never handed out

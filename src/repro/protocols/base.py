@@ -22,8 +22,8 @@ implementations honest about using only causally available information
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.network.graph import DirectedEdge, Graph
 

@@ -15,7 +15,7 @@ examples and as a fast smoke-test workload.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.network.graph import DirectedEdge, Graph
 from repro.protocols.base import PartyLogic, Protocol, ReceivedMap

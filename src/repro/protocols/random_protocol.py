@@ -14,7 +14,7 @@ with a keyed BLAKE2 digest so noiseless re-execution is reproducible.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.network.graph import DirectedEdge, Graph
 from repro.protocols.base import PartyLogic, Protocol, ReceivedMap

@@ -17,6 +17,13 @@ import random
 from typing import List
 
 
+#: Multiplier / mask of the child-seed derivation.  Exposed so callers that
+#: compute label hashes incrementally (e.g. the batched CRS seed source) can
+#: derive children bit-identical to :func:`fork` / :func:`fork_seed`.
+FORK_MULTIPLIER = 0x9E3779B97F4A7C15
+FORK_SEED_MASK = (1 << 63) - 1
+
+
 def stable_label_hash(label: str) -> int:
     """A 64-bit integer derived deterministically from a text label."""
     digest = hashlib.sha256(label.encode("utf-8")).digest()
@@ -30,12 +37,12 @@ def make_rng(seed: int) -> random.Random:
 
 def fork(seed: int, label: str) -> random.Random:
     """Derive an independent generator from ``seed`` and a textual ``label``."""
-    return random.Random((seed * 0x9E3779B97F4A7C15 + stable_label_hash(label)) & ((1 << 63) - 1))
+    return random.Random((seed * FORK_MULTIPLIER + stable_label_hash(label)) & FORK_SEED_MASK)
 
 
 def fork_seed(seed: int, label: str) -> int:
     """Derive a child integer seed (useful when an API wants a seed, not an RNG)."""
-    return (seed * 0x9E3779B97F4A7C15 + stable_label_hash(label)) & ((1 << 63) - 1)
+    return (seed * FORK_MULTIPLIER + stable_label_hash(label)) & FORK_SEED_MASK
 
 
 def random_bits(rng: random.Random, count: int) -> List[int]:

@@ -11,6 +11,11 @@ def pytest_configure(config):
         "distributed_smoke: end-to-end distributed smoke gate (subprocess workers); "
         "opt in with REPRO_SMOKE_DISTRIBUTED=1",
     )
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast end-to-end entry-point checks (scripts run as subprocesses); "
+        "always on, deselect with -m 'not smoke'",
+    )
 
 from repro.network.graph import Graph
 from repro.network.topologies import complete_topology, grid_topology, line_topology, ring_topology, star_topology

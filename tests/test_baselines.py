@@ -4,14 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.adversary.base import NoiselessAdversary
-from repro.adversary.strategies import DeletionAdversary, LinkTargetedAdversary, RandomNoiseAdversary
+from repro.adversary.strategies import DeletionAdversary, LinkTargetedAdversary
 from repro.baselines.fully_utilized import fully_utilized_overhead
 from repro.baselines.repetition import run_repetition
 from repro.baselines.uncoded import run_uncoded
-from repro.network.topologies import line_topology
-from repro.protocols.aggregation import AggregationProtocol
-from repro.protocols.gossip import ParityGossipProtocol
 
 
 class TestUncoded:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.chunking import ChunkedProtocol
-from repro.network.topologies import complete_topology, line_topology
+from repro.network.topologies import line_topology
 from repro.protocols.aggregation import AggregationProtocol
 from repro.protocols.gossip import ParityGossipProtocol
 

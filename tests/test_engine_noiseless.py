@@ -9,12 +9,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.engine import InteractiveCodingSimulator, simulate
+from repro.core.engine import simulate
 from repro.core.parameters import algorithm_a, algorithm_b, algorithm_c, crs_oblivious_scheme
-from repro.network.topologies import complete_topology, line_topology, ring_topology, star_topology
-from repro.protocols.aggregation import AggregationProtocol
-from repro.protocols.gossip import PairwiseExchangeProtocol, ParityGossipProtocol
-from repro.protocols.line_example import LineExampleProtocol
+from repro.network.topologies import ring_topology, star_topology
 from repro.protocols.random_protocol import RandomProtocol
 from repro.protocols.token_ring import TokenRingProtocol
 

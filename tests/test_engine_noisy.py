@@ -13,9 +13,7 @@ from repro.adversary.strategies import (
     RandomNoiseAdversary,
 )
 from repro.core.engine import simulate
-from repro.core.parameters import algorithm_a, crs_oblivious_scheme
-from repro.network.topologies import line_topology
-from repro.protocols.gossip import ParityGossipProtocol
+from repro.core.parameters import crs_oblivious_scheme
 
 
 class TestRandomNoiseRecovery:

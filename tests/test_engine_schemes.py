@@ -12,7 +12,7 @@ from repro.adversary.strategies import (
 )
 from repro.core.engine import simulate
 from repro.core.parameters import algorithm_a, algorithm_b, algorithm_c, crs_oblivious_scheme
-from repro.network.topologies import complete_topology, line_topology, star_topology
+from repro.network.topologies import complete_topology, star_topology
 from repro.protocols.gossip import ParityGossipProtocol
 
 

@@ -17,18 +17,15 @@ from repro.experiments.ablations import (
     rewind_ablation,
     single_error_cost,
 )
-from repro.experiments.harness import format_table, noiseless_factory, run_trials, sweep
+from repro.experiments.harness import format_table, run_trials, sweep
 from repro.experiments.noise_sweep import crossover_multiplier, noise_sweep
 from repro.experiments.table1 import ANALYTICAL_ROWS, TABLE1_COLUMNS, build_table1, default_cells, measure_cell
 from repro.experiments.theorem_validation import rate_vs_network_size, rate_vs_protocol_size, scheme_comparison
 from repro.experiments.workloads import (
     WORKLOAD_BUILDERS,
-    aggregation_workload,
     gossip_workload,
-    line_example_workload,
     pairwise_workload,
     random_workload,
-    token_ring_workload,
 )
 
 

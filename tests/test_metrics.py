@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.metrics import AggregateMetrics, RunMetrics, summarize_runs
+from repro.analysis.metrics import RunMetrics, summarize_runs
 
 
 def _run(success=True, cc_protocol=100, cc_simulation=500, corruptions=3, scheme="algorithm_a"):

@@ -6,7 +6,7 @@ import pytest
 
 from repro.network.topologies import line_topology
 from repro.protocols.base import PartyLogic, Protocol
-from repro.protocols.gossip import PairwiseExchangeProtocol, ParityGossipProtocol
+from repro.protocols.gossip import PairwiseExchangeProtocol
 
 
 class _BadScheduleProtocol(Protocol):

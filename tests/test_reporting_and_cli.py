@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import json
 
-import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments.reporting import ExperimentReport, load_report

@@ -21,7 +21,6 @@ import pytest
 from repro.analysis.metrics import AggregateMetrics, RunMetrics
 from repro.core.parameters import algorithm_a, crs_oblivious_scheme
 from repro.experiments.factories import (
-    LinkTargetedFactory,
     NoiselessFactory,
     RandomNoiseFactory,
 )
