@@ -16,6 +16,11 @@ one-command answer::
 transport instead of the batched one — diffing the two profiles shows
 exactly what the batched window path removed (and whether a regression crept
 back in).
+
+``--obs`` profiles the same trial under an ambient observability scope and,
+after the frame table, prints the metrics-registry snapshot plus per-name
+span totals — so a profile's "where does time go?" answer can be
+cross-checked against what the instrumentation itself reports.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import cProfile
 import io
 import pstats
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -39,6 +45,7 @@ from repro.core.parameters import (  # noqa: E402
 )
 from repro.experiments.factories import RandomNoiseFactory  # noqa: E402
 from repro.experiments.workloads import gossip_workload  # noqa: E402
+from repro.obs import MetricsRegistry, Tracer, format_metrics_rows, use_obs  # noqa: E402
 
 SCHEMES = {
     "crs": crs_oblivious_scheme,
@@ -73,7 +80,38 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="profile the single-slot compatibility transport instead of the batched path",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run under an observability scope and print counters + span totals",
+    )
     return parser.parse_args(argv)
+
+
+def _print_obs_report(registry, tracer) -> None:
+    print("obs counters:")
+    for row in format_metrics_rows(registry.flat_snapshot()):
+        print(f"  {row['metric']:<44} {row['value']}")
+
+    spans = tracer.drain()
+    totals: dict = {}
+    for span in spans:
+        count, seconds = totals.get(span["name"], (0, 0.0))
+        totals[span["name"]] = (count + 1, seconds + span["duration"])
+    print()
+    print("span totals:")
+    for name in sorted(totals):
+        count, seconds = totals[name]
+        print(f"  {name:<20} x{count:<6} {seconds:.4f}s")
+
+    # Cross-check: phases nest inside iterations, so their summed wall time
+    # should account for (nearly) all of the iteration time — a big gap means
+    # the engine is spending time the per-phase instrumentation cannot see.
+    iteration = totals.get("iteration")
+    phase = totals.get("phase")
+    if iteration and phase and iteration[1] > 0:
+        coverage = phase[1] / iteration[1]
+        print(f"  phase/iteration coverage: {coverage:.1%}")
 
 
 def main(argv=None) -> int:
@@ -84,15 +122,23 @@ def main(argv=None) -> int:
     scheme = SCHEMES[args.scheme]()
     fraction = scheme.nominal_noise_fraction(workload.graph) * args.noise_multiplier
     adversary = RandomNoiseFactory(fraction=fraction)(args.seed)
-    simulator = InteractiveCodingSimulator(
-        workload.protocol, scheme=scheme, adversary=adversary, seed=args.seed
-    )
-    simulator.network.batched = not args.per_slot
 
-    profile = cProfile.Profile()
-    profile.enable()
-    result = simulator.run()
-    profile.disable()
+    registry = MetricsRegistry() if args.obs else None
+    tracer = Tracer(sample_every=1) if args.obs else None
+    scope = use_obs(metrics=registry, tracer=tracer) if args.obs else nullcontext()
+
+    # The engine binds the ambient obs context at construction time, so the
+    # scope wraps simulator creation, not just the profiled run.
+    with scope:
+        simulator = InteractiveCodingSimulator(
+            workload.protocol, scheme=scheme, adversary=adversary, seed=args.seed
+        )
+        simulator.network.batched = not args.per_slot
+
+        profile = cProfile.Profile()
+        profile.enable()
+        result = simulator.run()
+        profile.disable()
 
     path = "per-slot" if args.per_slot else "batched"
     print(
@@ -108,6 +154,8 @@ def main(argv=None) -> int:
     buffer = io.StringIO()
     pstats.Stats(profile, stream=buffer).sort_stats(args.sort).print_stats(args.top)
     print(buffer.getvalue())
+    if args.obs:
+        _print_obs_report(registry, tracer)
     return 0
 
 

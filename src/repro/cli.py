@@ -10,7 +10,10 @@ writing any Python:
 * ``simulate``      — one simulation of a chosen workload/scheme/noise level,
 * ``runs``          — run-store analytics: ``list`` / ``show`` persisted runs,
   ``diff`` two runs cell by cell (non-zero exit on regression, so CI can gate
-  on it), ``merge`` trial sets of the same cell, ``gc`` old runs,
+  on it; ``--kind metrics`` gates on obs counters instead of outcomes),
+  ``trace`` / ``metrics`` render observability records captured under
+  ``--trace`` / ``--obs``, ``merge`` trial sets of the same cell, ``gc`` old
+  runs,
 * ``worker``        — ``worker serve`` runs a distributed-execution worker
   daemon (see ``--backend distributed`` below),
 * ``cache``         — trial-cache hygiene: ``cache compact`` rewrites the
@@ -35,7 +38,16 @@ report via ``--output``.  Experiment commands share the runtime flags:
 * ``--store-dir``   — persist every trial set and the final report to a run
   store that ``repro runs`` can browse later,
 * ``--seed``        — the base seed; printed with every run so each published
-  number can be regenerated from the command line.
+  number can be regenerated from the command line,
+* ``--obs``         — collect deterministic engine/transport/cache/cluster
+  counters and store them with each trial set,
+* ``--trace``       — record timing spans (implies ``--obs``); with
+  ``--store-dir`` each cell persists one trace record,
+* ``--trace-sample N`` / ``--log-level`` / ``--log-json`` — trace sampling and
+  structured-log output controls.
+
+Observability never changes what is computed: results are bit-identical with
+the flags on or off, and cache fingerprints are untouched.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ import argparse
 import json
 import os
 import sys
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from repro.adversary.strategies import RandomNoiseAdversary
@@ -61,6 +74,15 @@ from repro.experiments.reporting import ExperimentReport
 from repro.experiments.table1 import TABLE1_COLUMNS, build_table1
 from repro.experiments.theorem_validation import rate_vs_protocol_size
 from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    format_metrics_rows,
+    render_critical_path,
+    render_trace_tree,
+    use_obs,
+)
 from repro.runtime import (
     DistributedBackend,
     ProcessPoolBackend,
@@ -112,6 +134,42 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="persist trial sets and the report to this run store (browse with 'repro runs')",
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed for all trials")
+    parser.add_argument(
+        "--obs", action="store_true",
+        help="collect engine/transport/cache/cluster metrics; stored with each "
+             "trial set (inspect with 'repro runs metrics', gate with "
+             "'repro runs diff --kind metrics')",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record timing spans (implies --obs); traces persist to the run "
+             "store for 'repro runs trace'",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=1, metavar="N",
+        help="trace every N-th trial (default 1 = every trial)",
+    )
+    parser.add_argument(
+        "--log-level", choices=["debug", "info", "warning", "error"], default="warning",
+        help="structured-log verbosity for repro.* events (default warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured logs as JSON lines instead of human-readable text",
+    )
+
+
+def _obs_scope(args: argparse.Namespace):
+    """The observability context the ``--obs``/``--trace`` flags ask for — a
+    no-op context manager for commands without the flags (or with them off)."""
+    tracing = bool(getattr(args, "trace", False))
+    if not tracing and not getattr(args, "obs", False):
+        return nullcontext()
+    sample = getattr(args, "trace_sample", 1) or 1
+    if sample < 1:
+        raise _fail("--trace-sample must be a positive integer")
+    tracer = Tracer(sample_every=int(sample)) if tracing else None
+    return use_obs(metrics=MetricsRegistry(), tracer=tracer)
 
 
 def _runtime_overrides(args: argparse.Namespace) -> Dict[str, object]:
@@ -349,6 +407,27 @@ def _cmd_runs_show(args: argparse.Namespace) -> None:
         print(format_table([run.as_dict() for run in stored.runs], ["scheme", "success", "overhead", "noise_fraction", "iterations_run"]))
         print()
         print(format_table([stored.aggregate.as_dict()], ["scheme", "trials", "success_rate", "mean_overhead", "mean_noise_fraction"]))
+        attribution = payload.get("workers")
+        if isinstance(attribution, dict) and attribution.get("workers"):
+            print()
+            print(f"workers ({attribution.get('backend', '?')} backend, "
+                  f"{attribution.get('trials_total', '?')} trial(s), "
+                  f"{attribution.get('remote_cache_hits', 0)} remote cache hit(s)):")
+            worker_rows = [
+                dict({"worker": worker_id}, **stats)
+                for worker_id, stats in sorted(attribution["workers"].items())
+            ]
+            print(format_table(
+                worker_rows,
+                ["worker", "dispatched", "stolen", "redispatched", "trials_executed", "cache_hits"],
+            ))
+            for failure in attribution.get("unreachable_workers", []):
+                print(f"  unreachable: {failure}")
+        obs_metrics = payload.get("obs_metrics")
+        if isinstance(obs_metrics, dict) and obs_metrics:
+            print()
+            print(f"obs metrics: {len(obs_metrics)} counter(s) recorded "
+                  f"(show with 'repro runs metrics {stored.run_id}')")
     elif payload.get("kind") == "report":
         rows = list(payload.get("rows", []))
         print(f"run {payload['run_id']}: report {payload.get('experiment')} (recorded {payload.get('created_at')})")
@@ -367,14 +446,26 @@ def _cmd_runs_show(args: argparse.Namespace) -> None:
         print()
         bench_columns = ["name", "mean_seconds", "min_seconds", "max_seconds", "rounds"]
         print(format_table(rows, bench_columns) if rows else "(no benchmarks)")
+    elif payload.get("kind") == "trace":
+        spans = list(payload.get("spans", []))
+        print(f"run {payload['run_id']}: trace {payload.get('label')} (recorded {payload.get('created_at')})")
+        print(f"trace {payload.get('trace_id')}: {len(spans)} span(s) — "
+              f"full view: repro runs trace {payload['run_id']}")
+        print()
+        for line in render_trace_tree(spans):
+            print(line)
     else:
         print(json.dumps(payload, indent=2, sort_keys=True, default=str))
 
 
 def _cmd_runs_diff(args: argparse.Namespace) -> int:
     store = RunStore(args.store_dir)
-    baseline = _load_run(store, args.baseline, kind=args.kind, experiment=args.experiment)
-    candidate = _load_run(store, args.candidate, kind=args.kind, experiment=args.experiment)
+    # ``--kind metrics`` is a *view*: it resolves trial_set records but diffs
+    # their obs counters instead of their aggregate outcome.
+    view = "metrics" if args.kind == "metrics" else None
+    record_kind = "trial_set" if view == "metrics" else args.kind
+    baseline = _load_run(store, args.baseline, kind=record_kind, experiment=args.experiment)
+    candidate = _load_run(store, args.candidate, kind=record_kind, experiment=args.experiment)
     wall_clock_tolerance = (
         args.wall_clock_tolerance
         if args.wall_clock_tolerance is not None
@@ -390,15 +481,21 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
             max_wall_clock_increase=wall_clock_tolerance,
             max_success_rate_drop=success_tolerance,
             min_wall_clock_seconds=args.min_wall_clock,
+            max_counter_increase=args.counter_tolerance,
         )
-        diff = diff_runs(baseline, candidate, thresholds=thresholds)
+        diff = diff_runs(baseline, candidate, thresholds=thresholds, view=view)
     except ValueError as exc:
         raise _fail(str(exc))
-    print(f"diff {diff.baseline_id} (baseline) → {diff.candidate_id} (candidate), kind {diff.kind}")
-    print(
-        f"thresholds: wall clock +{thresholds.max_wall_clock_increase:.0%}, "
-        f"success rate -{thresholds.max_success_rate_drop:.3f}"
-    )
+    label = f"kind {diff.kind}" if view is None else f"kind {diff.kind} (metrics view)"
+    print(f"diff {diff.baseline_id} (baseline) → {diff.candidate_id} (candidate), {label}")
+    if view == "metrics":
+        print(f"thresholds: counters +{thresholds.max_counter_increase:.0%} "
+              "(timing metrics informative only)")
+    else:
+        print(
+            f"thresholds: wall clock +{thresholds.max_wall_clock_increase:.0%}, "
+            f"success rate -{thresholds.max_success_rate_drop:.3f}"
+        )
     print()
     if not diff.rows:
         print("(no cells to compare)")
@@ -410,6 +507,55 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
         return 1
     print("no regressions")
     return 0
+
+
+def _cmd_runs_trace(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    payload = _load_run(store, args.run_id, kind="trace")
+    if payload.get("kind") != "trace":
+        raise _fail(
+            f"run {payload.get('run_id', args.run_id)!r} is a "
+            f"{payload.get('kind')!r}, not a trace; record one with --trace"
+        )
+    spans = list(payload.get("spans", []))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return
+    print(f"run {payload['run_id']}: trace {payload.get('label')} (recorded {payload.get('created_at')})")
+    print(f"trace {payload.get('trace_id')}: {len(spans)} span(s) across "
+          f"{len({span.get('worker') for span in spans})} worker(s)")
+    print()
+    for line in render_trace_tree(spans):
+        print(line)
+    print()
+    print("critical path (what the wall clock waited for):")
+    for line in render_critical_path(spans):
+        print(line)
+
+
+def _cmd_runs_metrics(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    payload = _load_run(store, args.run_id, kind="trial_set")
+    if payload.get("kind") != "trial_set":
+        raise _fail(
+            f"run {payload.get('run_id', args.run_id)!r} is a "
+            f"{payload.get('kind')!r}; obs metrics live on trial_set runs"
+        )
+    obs_metrics = payload.get("obs_metrics")
+    if not isinstance(obs_metrics, dict) or not obs_metrics:
+        raise _fail(
+            f"run {payload.get('run_id', args.run_id)!r} carries no obs "
+            "metrics; re-run the experiment with --obs to record them"
+        )
+    if args.json:
+        print(json.dumps(obs_metrics, indent=2, sort_keys=True, default=str))
+        return
+    prefixes = tuple(args.prefix) if args.prefix else None
+    rows = format_metrics_rows(obs_metrics, prefixes)
+    print(f"run {payload['run_id']}: {payload.get('label')} — "
+          f"{len(rows)}/{len(obs_metrics)} metric(s)")
+    print()
+    print(format_table(list(rows), ["metric", "value"]) if rows else "(no matching metrics)")
 
 
 def _cmd_runs_merge(args: argparse.Namespace) -> None:
@@ -459,11 +605,14 @@ def _cmd_worker_serve(args: argparse.Namespace) -> None:
             cache_dir=args.cache_dir,
             worker_id=args.worker_id,
             heartbeat_interval=args.heartbeat_interval,
+            status_port=args.status_port,
         )
     except (OSError, ValueError) as exc:
         raise _fail(f"cannot start worker: {exc}")
     # One parseable line so scripts can discover an OS-assigned port (--port 0).
     print(f"worker {server.worker_id} listening on {server.address}", flush=True)
+    if server.status_port is not None:
+        print(f"status: http://{server.host}:{server.status_port}/", flush=True)
     if args.cache_dir:
         print(f"cache: {args.cache_dir} ({len(server.cache)} entries)", flush=True)
     try:
@@ -558,6 +707,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="stable id recorded in run attribution (default host:port)")
     worker_serve.add_argument("--heartbeat-interval", type=float, default=1.0,
                               help="seconds between liveness frames while a chunk runs (default 1.0)")
+    worker_serve.add_argument("--status-port", type=int, default=None,
+                              help="serve a live JSON status/metrics snapshot over HTTP "
+                                   "on this port (0 = OS-assigned, printed on startup)")
+    worker_serve.add_argument("--log-level", choices=["debug", "info", "warning", "error"],
+                              default="warning", help="structured-log verbosity (default warning)")
+    worker_serve.add_argument("--log-json", action="store_true",
+                              help="emit structured logs as JSON lines")
     worker_serve.set_defaults(func=_cmd_worker_serve)
 
     cache = sub.add_parser("cache", help="trial-result cache hygiene")
@@ -574,7 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     runs_list = runs_sub.add_parser("list", help="list all runs in a store")
     runs_list.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
-    runs_list.add_argument("--kind", choices=["trial_set", "report", "bench"], default=None)
+    runs_list.add_argument("--kind", choices=["trial_set", "report", "bench", "trace"], default=None)
     runs_list.add_argument("--experiment", default=None)
     runs_list.set_defaults(func=_cmd_runs_list)
 
@@ -583,6 +739,26 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     runs_show.set_defaults(func=_cmd_runs_show)
 
+    runs_trace = runs_sub.add_parser(
+        "trace", help="render a stored trace: span tree + critical path"
+    )
+    runs_trace.add_argument("run_id", help="trace run id, or latest / latest~N")
+    runs_trace.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_trace.add_argument("--json", action="store_true",
+                            help="dump the raw trace record as JSON")
+    runs_trace.set_defaults(func=_cmd_runs_trace)
+
+    runs_metrics = runs_sub.add_parser(
+        "metrics", help="show the obs counters stored with a trial set (--obs)"
+    )
+    runs_metrics.add_argument("run_id", help="trial_set run id, or latest / latest~N")
+    runs_metrics.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_metrics.add_argument("--prefix", action="append", default=None, metavar="PREFIX",
+                              help="only metrics starting with PREFIX (repeatable)")
+    runs_metrics.add_argument("--json", action="store_true",
+                              help="dump the metrics map as JSON")
+    runs_metrics.set_defaults(func=_cmd_runs_metrics)
+
     runs_diff = runs_sub.add_parser(
         "diff", help="compare two runs cell by cell; exits 1 on regression"
     )
@@ -590,8 +766,9 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("candidate", help="candidate run id, or latest / latest~N")
     runs_diff.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
     runs_diff.add_argument(
-        "--kind", choices=["trial_set", "bench", "report"], default=None,
-        help="restrict latest/latest~N resolution to this record kind",
+        "--kind", choices=["trial_set", "bench", "report", "metrics"], default=None,
+        help="restrict latest/latest~N resolution to this record kind; "
+             "'metrics' diffs trial_set obs counters instead of outcomes",
     )
     runs_diff.add_argument(
         "--experiment", default=None,
@@ -608,6 +785,11 @@ def build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument(
         "--min-wall-clock", type=float, default=0.005,
         help="wall-clock floor in seconds below which ratios never gate (default 0.005)",
+    )
+    runs_diff.add_argument(
+        "--counter-tolerance", type=float, default=0.0,
+        help="allowed fractional counter increase for --kind metrics (default 0.0 "
+             "— obs counters are deterministic, any increase regresses)",
     )
     runs_diff.set_defaults(func=_cmd_runs_diff)
 
@@ -638,8 +820,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(
+        level=getattr(args, "log_level", "warning"),
+        json_output=bool(getattr(args, "log_json", False)),
+    )
     try:
-        result = args.func(args)
+        with _obs_scope(args):
+            result = args.func(args)
     except BrokenPipeError:  # e.g. `repro runs list | head` closing the pipe early
         try:
             sys.stdout.close()

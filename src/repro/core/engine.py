@@ -31,8 +31,9 @@ Engineering notes (full discussion in DESIGN.md):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.adversary.base import Adversary, NoiselessAdversary
 from repro.analysis.metrics import RunMetrics
@@ -53,6 +54,7 @@ from repro.network.channel import Symbol
 from repro.network.graph import Graph, edge_key
 from repro.network.spanning_tree import SpanningTree
 from repro.network.transport import NoisyNetwork
+from repro.obs import Tracer, get_obs
 from repro.protocols.base import PartyLogic, Protocol
 from repro.utils.bitstring import symbol_to_bit
 from repro.utils.rng import fork, fork_seed
@@ -111,6 +113,11 @@ class InteractiveCodingSimulator:
         #: advancement over provably idle round spans.  Bit-identical to the
         #: round-by-round schedule (same adversary calls in the same order).
         self.batch_rounds = True
+        #: The ambient observability context, captured once (also a plain
+        #: attribute, for the same fingerprint-invisibility reason).  With the
+        #: default disabled context the per-run cost is one attribute read and
+        #: one branch; the iteration loop body is untouched.
+        self._obs = get_obs()
 
         self.scale_k = self.scheme.scale_k(self.graph)
         self.chunked = ChunkedProtocol(
@@ -140,15 +147,20 @@ class InteractiveCodingSimulator:
         self._initialize_state()
 
         trace = PotentialTrace() if self.scheme.trace_potential else None
+        tracer = self._obs.tracer
+        phase_rounds: Optional[Dict[str, int]] = {} if self._obs.metrics is not None else None
         iterations_run = 0
         for iteration in range(self.iterations_budget):
             iterations_run = iteration + 1
-            self._meeting_points_phase(iteration)
-            self._compute_status_flags()
-            self._flag_passing_phase(iteration)
-            self._simulation_phase(iteration)
-            if self.scheme.enable_rewind_phase:
-                self._rewind_phase(iteration)
+            if tracer is None and phase_rounds is None:
+                self._meeting_points_phase(iteration)
+                self._compute_status_flags()
+                self._flag_passing_phase(iteration)
+                self._simulation_phase(iteration)
+                if self.scheme.enable_rewind_phase:
+                    self._rewind_phase(iteration)
+            else:
+                self._run_iteration_observed(iteration, tracer, phase_rounds)
             if trace is not None:
                 trace.record(
                     compute_snapshot(self.graph, self._all_transcripts(), iteration, self.scale_k)
@@ -161,6 +173,8 @@ class InteractiveCodingSimulator:
                                       outputs=outputs,
                                       reference_outputs=reference.outputs,
                                       iterations_run=iterations_run)
+        if self._obs.metrics is not None:
+            self._flush_obs(phase_rounds or {}, iterations_run)
         return SimulationResult(
             scheme=self.scheme,
             success=metrics.success,
@@ -178,6 +192,101 @@ class InteractiveCodingSimulator:
             potential_trace=trace,
             randomness_exchange_agreed=dict(self._randomness_agreed),
         )
+
+    # ------------------------------------------------------ observability --
+
+    def _run_iteration_observed(
+        self,
+        iteration: int,
+        tracer: Optional[Tracer],
+        phase_rounds: Optional[Dict[str, int]],
+    ) -> None:
+        """One iteration of the main loop with spans and per-phase round counts.
+
+        A separate mirror of the loop body so the unobserved path stays free
+        of context managers and conditionals; bit-identical to it (spans and
+        counters never touch the schedule, the adversary or any RNG).
+        """
+        scope = tracer.span("iteration", iteration=iteration) if tracer is not None else nullcontext()
+        with scope:
+            self._observed_phase("meeting_points", iteration, self._meeting_points_phase, tracer, phase_rounds)
+            self._compute_status_flags()
+            self._observed_phase("flag_passing", iteration, self._flag_passing_phase, tracer, phase_rounds)
+            self._observed_phase("simulation", iteration, self._simulation_phase, tracer, phase_rounds)
+            if self.scheme.enable_rewind_phase:
+                self._observed_phase("rewind", iteration, self._rewind_phase, tracer, phase_rounds)
+
+    def _observed_phase(
+        self,
+        name: str,
+        iteration: int,
+        step: Callable[[int], None],
+        tracer: Optional[Tracer],
+        phase_rounds: Optional[Dict[str, int]],
+    ) -> None:
+        before = self.network.current_round
+        if tracer is not None:
+            with tracer.span("phase", phase=name, iteration=iteration):
+                step(iteration)
+        else:
+            step(iteration)
+        if phase_rounds is not None:
+            phase_rounds[name] = phase_rounds.get(name, 0) + (self.network.current_round - before)
+
+    def _flush_obs(self, phase_rounds: Dict[str, int], iterations_run: int) -> None:
+        """Flush every per-trial counter into the ambient metrics registry.
+
+        One bulk :meth:`~repro.obs.metrics.MetricsRegistry.inc_many` per trial
+        (a single lock acquisition), fed from the plain integer counters the
+        hot paths maintained: engine diagnostics, transport dispatch shapes,
+        :class:`~repro.network.channel.ChannelStats` totals, hashing-session
+        build paths and seed-source derivations, and the adversary's budget
+        consumption when it has one.
+        """
+        network = self.network
+        stats = network.stats
+        counters: Dict[str, float] = {
+            "engine.trials": 1,
+            "engine.iterations_run": iterations_run,
+            "engine.rounds_total": network.current_round,
+            "engine.rewinds_sent": self._counters["rewinds_sent"],
+            "engine.meeting_point_truncations": self._counters["mp_truncations"],
+            "engine.hash_mismatches": self._counters["hash_mismatches"],
+            "engine.hash_collisions": self._counters["hash_collisions"],
+            "transport.windows_exchanged": network.windows_exchanged,
+            "transport.sparse_dispatches": network.sparse_dispatches,
+            "transport.dense_dispatches": network.dense_dispatches,
+            "transport.idle_rounds_collapsed": network.idle_rounds_collapsed,
+            "transport.transmissions": stats.transmissions,
+            "transport.delivered_symbols": stats.delivered_symbols,
+            "transport.substitutions": stats.substitutions,
+            "transport.deletions": stats.deletions,
+            "transport.insertions": stats.insertions,
+        }
+        for phase, count in phase_rounds.items():
+            counters[f"engine.rounds.{phase}"] = count
+        for phase, count in stats.transmissions_by_phase.items():
+            counters[f"transport.transmissions.{phase}"] = count
+        for phase, count in stats.corruptions_by_phase.items():
+            counters[f"transport.corruptions.{phase}"] = count
+        fast_builds = reference_builds = truncations = resets = derivations = 0
+        for runtime in self.runtimes.values():
+            for session in runtime.sessions.values():
+                fast_builds += session.fast_builds
+                reference_builds += session.reference_builds
+                truncations += session.truncations
+                resets += session.resets
+                derivations += getattr(session.seed_source, "derivations", 0)
+        counters["hashing.packed_builds"] = fast_builds
+        counters["hashing.reference_builds"] = reference_builds
+        counters["hashing.session_truncations"] = truncations
+        counters["hashing.session_resets"] = resets
+        counters["hashing.seed_derivations"] = derivations
+        budget = getattr(self.adversary, "budget", None)
+        if budget is not None:
+            counters["adversary.transmissions_seen"] = getattr(budget, "transmissions_seen", 0)
+            counters["adversary.corruptions_spent"] = getattr(budget, "corruptions_spent", 0)
+        self._obs.metrics.inc_many(counters)
 
     # ------------------------------------------------------ initialisation --
 
@@ -375,6 +484,7 @@ class InteractiveCodingSimulator:
             # round-by-round schedule would advance the same clock one round
             # at a time and never touch the adversary).
             self.network.advance_rounds(window)
+            self.network.idle_rounds_collapsed += window
             return
         for offset in range(window):
             messages: Dict[Tuple[int, int], List[int]] = {}
@@ -398,6 +508,7 @@ class InteractiveCodingSimulator:
                 # Nothing scheduled anywhere this round; skip the exchange but
                 # keep the clock honest.
                 self.network.advance_rounds(1)
+                self.network.idle_rounds_collapsed += 1
                 continue
             delivered = self.network.exchange_window(
                 messages, 1, "simulation", iteration, sparse=sparse
@@ -470,8 +581,10 @@ class InteractiveCodingSimulator:
                     # identical to this one.  Advance the clock over the whole
                     # tail in one call instead of one empty round at a time.
                     self.network.advance_rounds(rounds - round_index)
+                    self.network.idle_rounds_collapsed += rounds - round_index
                     return
                 self.network.advance_rounds(1)
+                self.network.idle_rounds_collapsed += 1
                 continue
             delivered = self.network.exchange_window(
                 messages, 1, "rewind", iteration, sparse=sparse

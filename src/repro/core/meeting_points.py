@@ -102,6 +102,10 @@ class MeetingPointsSession:
     #: Diagnostics accumulated over the whole run.
     truncations: int = 0
     resets: int = 0
+    #: How many hash messages each construction path produced (``repro.obs``;
+    #: plain increments, flushed into the metrics registry by the engine).
+    fast_builds: int = 0
+    reference_builds: int = 0
 
     # transient, per-exchange fields
     _mp1: int = 0
@@ -136,8 +140,10 @@ class MeetingPointsSession:
         self._mp2 = max(self._mp1 - self._k_tilde, 0)
 
         if self.fast_hashing:
+            self.fast_builds += 1
             return self._build_message_fast(iteration, transcript, length)
 
+        self.reference_builds += 1
         self._own_counter_hash = self._hash_counter(iteration, self.k)
         self._own_full_hash = self._hash_prefix(iteration, transcript, length)
         self._own_mp1_hash = self._hash_prefix(iteration, transcript, self._mp1)

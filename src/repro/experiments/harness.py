@@ -27,6 +27,7 @@ from repro.analysis.metrics import AggregateMetrics, RunMetrics, summarize_runs
 from repro.core.parameters import SchemeParameters
 from repro.experiments.factories import NoiselessFactory
 from repro.experiments.workloads import Workload
+from repro.obs import counters_delta, get_obs
 from repro.runtime import (
     ExecutionBackend,
     RunStore,
@@ -103,11 +104,21 @@ def run_trials(
     if callable(popper):
         popper()
     hits_before = active_cache.stats.hits if active_cache is not None else 0
+    name = label if label is not None else f"{workload.name}/{scheme.name}"
+    # One registry may span a whole sweep: snapshot before/after and store
+    # only this cell's delta.  The tracer likewise accumulates per cell — its
+    # drain below empties it, so each cell yields one trace record.
+    obs = get_obs()
+    metrics_before = obs.metrics.flat_snapshot() if obs.metrics is not None else None
+    cell_scope = obs.tracer.span("trial_set", label=name) if obs.tracer is not None else None
     started = time.perf_counter()
-    runs = execute_trials(specs, backend=backend, cache=cache)
+    if cell_scope is not None:
+        with cell_scope:
+            runs = execute_trials(specs, backend=backend, cache=cache)
+    else:
+        runs = execute_trials(specs, backend=backend, cache=cache)
     wall_clock_seconds = time.perf_counter() - started
     cached_trials = (active_cache.stats.hits - hits_before) if active_cache is not None else 0
-    name = label if label is not None else f"{workload.name}/{scheme.name}"
     trial_set = TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
     run_store: Optional[RunStore] = get_runtime().store if store is _UNSET else store
     attribution = popper() if callable(popper) else None
@@ -116,6 +127,11 @@ def run_trials(
         # either — fold them into cached_trials so the wall-clock regression
         # gate stays honest across hosts.
         cached_trials += int(attribution.get("remote_cache_hits", 0) or 0)
+    obs_metrics = (
+        counters_delta(metrics_before, obs.metrics.flat_snapshot())
+        if metrics_before is not None
+        else None
+    )
     if run_store is not None:
         run_store.record_trial_set(
             label=trial_set.label,
@@ -130,7 +146,17 @@ def run_trials(
             wall_clock_seconds=wall_clock_seconds,
             cached_trials=cached_trials,
             worker_attribution=attribution,
+            obs_metrics=obs_metrics,
         )
+        if obs.tracer is not None:
+            spans = obs.tracer.drain()
+            if spans:
+                run_store.record_trace(
+                    label=trial_set.label,
+                    trace_id=obs.tracer.trace_id,
+                    spans=spans,
+                    parameters={"scheme": scheme.name, "workload": workload.name},
+                )
     return trial_set
 
 

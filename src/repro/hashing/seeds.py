@@ -132,6 +132,8 @@ class CrsSeedSource(SeedSource):
 
     master_seed: int
     link: Tuple[int, int]
+    #: Cache-miss slot derivations performed by this source (``repro.obs``).
+    derivations: int = 0
     _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
     _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
         default_factory=dict, repr=False
@@ -148,6 +150,7 @@ class CrsSeedSource(SeedSource):
         if key not in self._cache:
             rng = fork(self.master_seed, f"crs|{self.link}|{iteration}|{purpose}")
             self._cache[key] = random_bitstring_int(rng, length_bits)
+            self.derivations += 1
         return self._cache[key]
 
     def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
@@ -172,6 +175,7 @@ class CrsSeedSource(SeedSource):
                 label_hash = int.from_bytes(purpose_hash.digest()[:8], "big")
                 child_seed = (master * FORK_MULTIPLIER + label_hash) & FORK_SEED_MASK
                 value = cache[key] = random_bitstring_int(make_rng(child_seed), length)
+                self.derivations += 1
             seeds.append(value)
         result = tuple(seeds)
         self._batch_cache[batch_key] = result
@@ -204,6 +208,8 @@ class ExchangedSeedSource(SeedSource):
     #: field-multiplication loop (the pre-fast-path reference); ``True`` uses
     #: table-driven stepping.  Bit-identical either way.
     table_expansion: bool = True
+    #: Cache-miss slot derivations performed by this source (``repro.obs``).
+    derivations: int = 0
     _generator: SmallBiasGenerator = field(init=False)
     _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
     _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
@@ -258,6 +264,7 @@ class ExchangedSeedSource(SeedSource):
         if key not in self._cache:
             offset = self._slot_offset(iteration, purpose_index)
             self._cache[key] = self._generator.packed_bits(offset, length_bits)
+            self.derivations += 1
         return self._cache[key]
 
     def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
@@ -276,6 +283,7 @@ class ExchangedSeedSource(SeedSource):
             slots.append((self._slot_offset(iteration, purpose_index), length))
             occupied.append((purpose_index, length))
         values = self._generator.packed_slots(slots)
+        self.derivations += len(occupied)
         seeds: List[Optional[int]] = [None] * len(SEED_PURPOSES)
         for (purpose_index, length), value in zip(occupied, values):
             seeds[purpose_index] = value

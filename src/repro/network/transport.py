@@ -54,6 +54,16 @@ class NoisyNetwork:
     #: bit-identical; the flag exists for equivalence tests and benchmarks.
     batched: bool = True
 
+    #: Dispatch accounting for ``repro.obs``: plain integers kept hot-path
+    #: cheap (one add per window) and flushed into the ambient metrics
+    #: registry once per trial by the engine.  ``idle_rounds_collapsed`` is
+    #: credited by the engine at its window-collapse sites, not by
+    #: ``advance_rounds`` itself (which every window exchange also calls).
+    windows_exchanged: int = 0
+    sparse_dispatches: int = 0
+    dense_dispatches: int = 0
+    idle_rounds_collapsed: int = 0
+
     def __post_init__(self) -> None:
         self._check_notify_contract(self.adversary)
 
@@ -173,6 +183,11 @@ class NoisyNetwork:
         stats = self.stats
         base_round = self.current_round
         omit_silent = sparse and not may_insert
+        self.windows_exchanged += 1
+        if omit_silent:
+            self.sparse_dispatches += 1
+        else:
+            self.dense_dispatches += 1
         # The adversary sees the window as an immutable tuple, so the sent
         # record used for corruption accounting below cannot be mutated in
         # place — the accounting structurally cannot be bypassed.  The
@@ -255,6 +270,8 @@ class NoisyNetwork:
     ) -> Dict[Tuple[int, int], List[Symbol]]:
         received: Dict[Tuple[int, int], List[Symbol]] = {}
         may_insert = self.adversary.may_insert
+        self.windows_exchanged += 1
+        self.dense_dispatches += 1
         for sender, receiver in self.graph.directed_edges():
             outgoing = list(messages.get((sender, receiver), ()))
             delivered: List[Symbol] = []

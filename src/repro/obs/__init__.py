@@ -1,0 +1,60 @@
+"""repro.obs — tracing, metrics and structured logging across the stack.
+
+A near-zero-overhead-when-disabled instrumentation layer, reached ambiently
+(:func:`get_obs` / :func:`use_obs`, mirroring ``repro.runtime.use_runtime``)
+so no simulator or runtime signature carries observability arguments and no
+trial fingerprint ever sees it:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms populated by the engine (per-phase round counts, sparse vs
+  dense window dispatches, idle rounds collapsed), the transport
+  (``ChannelStats`` totals), hashing (packed vs reference message builds,
+  seed derivations), the cache, the run store and the distributed backend;
+* :class:`~repro.obs.trace.Tracer` — monotonic-clock spans (``trial_set`` /
+  ``dispatch_chunk`` / ``trial`` / ``iteration`` / ``phase`` /
+  ``cache_probe``) persisted into the :class:`~repro.runtime.store.RunStore`
+  beside trial sets, with trace ids propagated through the coordinator →
+  worker wire frames so one distributed sweep yields one trace;
+* :mod:`~repro.obs.log` — event-plus-fields diagnostics with human or JSON
+  rendering (``--log-level`` / ``--log-json``).
+
+Everything here is stdlib-only and imports nothing from the rest of
+``repro`` (beyond itself), so any layer — including the network core — can
+reach the ambient context without import cycles.
+
+Enable from the CLI with ``--obs`` / ``--trace``, or in code::
+
+    from repro.obs import MetricsRegistry, Tracer, use_obs
+
+    registry, tracer = MetricsRegistry(), Tracer(sample_every=4)
+    with use_obs(metrics=registry, tracer=tracer):
+        run_trials(workload, scheme, factory, trials=20)
+    print(registry.flat_snapshot())
+"""
+
+from repro.obs.context import DISABLED, UNSET, ObsContext, get_obs, set_default_obs, use_obs
+from repro.obs.log import StructuredLogger, configure as configure_logging, get_logger
+from repro.obs.metrics import MetricsRegistry, counters_delta, format_metrics_rows
+from repro.obs.surface import critical_path, render_critical_path, render_trace_tree
+from repro.obs.trace import Span, Tracer, new_id
+
+__all__ = [
+    "ObsContext",
+    "DISABLED",
+    "UNSET",
+    "get_obs",
+    "set_default_obs",
+    "use_obs",
+    "MetricsRegistry",
+    "counters_delta",
+    "format_metrics_rows",
+    "Tracer",
+    "Span",
+    "new_id",
+    "StructuredLogger",
+    "get_logger",
+    "configure_logging",
+    "critical_path",
+    "render_critical_path",
+    "render_trace_tree",
+]

@@ -1,0 +1,90 @@
+"""The ambient observability scope (the obs mirror of ``use_runtime``).
+
+Instrumented code never takes a registry or tracer argument — it asks
+:func:`get_obs` for the active :class:`ObsContext` and does nothing when the
+context is disabled.  That keeps instrumentation fingerprint-invisible (no
+constructor signatures change, no scheme fields appear, ``TrialKey`` digests
+are untouched) and keeps the disabled cost to one attribute read.
+
+Unlike the runtime context, the override is **thread-local** with a
+process-wide default underneath: a ``repro worker serve`` daemon runs the
+coordinator's chunks on connection threads, and a per-thread
+:func:`use_obs` lets each chunk record into its own tracer without two
+threads (or an in-process test coordinator) trampling each other's scope.
+``ProcessPoolBackend`` worker *processes* do not inherit the context at all —
+trials executed there run uninstrumented, which the architecture docs call
+out; the serial and distributed backends observe everything.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+#: "Argument not provided" sentinel (same convention as the runtime context's).
+UNSET = object()
+_UNSET = UNSET
+
+
+@dataclass(frozen=True)
+class ObsContext:
+    """What instrumented code reports into; both fields default to off."""
+
+    metrics: Optional[MetricsRegistry] = None
+    tracer: Optional[Tracer] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics is not None or self.tracer is not None
+
+
+#: The shared disabled context — the process-wide default until configured.
+DISABLED = ObsContext()
+
+_default = DISABLED
+_local = threading.local()
+
+
+def get_obs() -> ObsContext:
+    """The active observability context (thread override, else the default)."""
+    return getattr(_local, "active", None) or _default
+
+
+def set_default_obs(metrics=_UNSET, tracer=_UNSET) -> ObsContext:
+    """Replace fields of the process-wide default context.
+
+    Unset arguments keep the current value; pass ``metrics=None`` /
+    ``tracer=None`` explicitly to switch a field off.
+    """
+    global _default
+    _default = ObsContext(
+        metrics=_default.metrics if metrics is _UNSET else metrics,
+        tracer=_default.tracer if tracer is _UNSET else tracer,
+    )
+    return _default
+
+
+@contextmanager
+def use_obs(metrics=_UNSET, tracer=_UNSET) -> Iterator[ObsContext]:
+    """Install an observability context for this thread (restored on exit).
+
+    Unset arguments inherit from whatever :func:`get_obs` currently resolves
+    to, so nesting composes: a tracer installed at the CLI stays visible
+    inside a narrower ``use_obs(metrics=...)`` block.
+    """
+    current = get_obs()
+    context = ObsContext(
+        metrics=current.metrics if metrics is _UNSET else metrics,
+        tracer=current.tracer if tracer is _UNSET else tracer,
+    )
+    previous = getattr(_local, "active", None)
+    _local.active = context
+    try:
+        yield context
+    finally:
+        _local.active = previous

@@ -1,0 +1,115 @@
+"""Structured logging for runtime and cluster diagnostics.
+
+Every operational message ("worker declared dead", "cluster degraded to 1/2
+workers") goes through a :class:`StructuredLogger`: an *event name* plus
+key=value fields, rendered either human-readably::
+
+    12:04:11 WARNING repro.distributed: worker_dead worker=host:9001 chunk=3
+
+or — under ``--log-json`` — as one JSON object per line, so a log aggregator
+ingests the fields without regexes::
+
+    {"ts": "…", "level": "warning", "logger": "repro.distributed",
+     "event": "worker_dead", "worker": "host:9001", "chunk": 3}
+
+Built on stdlib :mod:`logging` (namespace ``repro.*``): unconfigured, events
+at WARNING and above still reach stderr through logging's last-resort
+handler, so a degraded cluster is never silent; :func:`configure` (the
+``--log-level`` / ``--log-json`` CLI flags) installs an explicit handler with
+the chosen level and format.  User-facing *results* (tables, reports) stay on
+plain ``print`` — this module is for diagnostics only.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+from typing import Any, Optional, TextIO
+
+_ROOT_LOGGER = "repro"
+_FIELDS_ATTR = "repro_fields"
+_EVENT_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class _HumanFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        suffix = "".join(f" {key}={value}" for key, value in fields.items())
+        timestamp = datetime.fromtimestamp(record.created).strftime("%H:%M:%S")
+        return f"{timestamp} {record.levelname} {record.name}: {record.getMessage()}{suffix}"
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": datetime.fromtimestamp(record.created, timezone.utc).isoformat(),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class StructuredLogger:
+    """Thin wrapper binding event-style calls onto a stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def event(self, level: str, event: str, **fields: Any) -> None:
+        numeric = _EVENT_LEVELS.get(level, logging.INFO)
+        if self._logger.isEnabledFor(numeric):
+            self._logger.log(numeric, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.event("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.event("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.event("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.event("error", event, **fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The structured logger for one subsystem (``distributed``, ``worker``,
+    …), namespaced under ``repro.``."""
+    qualified = name if name.startswith(_ROOT_LOGGER) else f"{_ROOT_LOGGER}.{name}"
+    return StructuredLogger(logging.getLogger(qualified))
+
+
+def configure(
+    level: str = "warning",
+    json_output: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Install (or replace) the handler on the ``repro`` logger tree.
+
+    Idempotent per process: repeated calls swap the handler rather than
+    stacking duplicates, so CLI commands can call it unconditionally.
+    """
+    if level not in _EVENT_LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {sorted(_EVENT_LEVELS)})")
+    root = logging.getLogger(_ROOT_LOGGER)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_JsonFormatter() if json_output else _HumanFormatter())
+    root.addHandler(handler)
+    root.setLevel(_EVENT_LEVELS[level])
+    root.propagate = False

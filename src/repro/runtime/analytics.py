@@ -49,12 +49,16 @@ class RegressionThresholds:
     ``min_wall_clock_seconds`` is an absolute floor below which wall-clock
     ratios never gate — on sub-millisecond cells the scheduler jitter alone
     exceeds any sane ratio, and a CI gate that flakes is a gate that gets
-    deleted.
+    deleted.  ``max_counter_increase`` is fractional and applies only to the
+    ``metrics`` view: obs counters are deterministic (rounds exchanged, hashes
+    derived, symbols dispatched), so the default of ``0.0`` — any increase
+    regresses — is not flaky the way a wall-clock gate would be.
     """
 
     max_wall_clock_increase: float = 0.25
     max_success_rate_drop: float = 0.0
     min_wall_clock_seconds: float = 0.005
+    max_counter_increase: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_wall_clock_increase < 0:
@@ -63,6 +67,8 @@ class RegressionThresholds:
             raise ValueError("max_success_rate_drop must be >= 0")
         if self.min_wall_clock_seconds < 0:
             raise ValueError("min_wall_clock_seconds must be >= 0")
+        if self.max_counter_increase < 0:
+            raise ValueError("max_counter_increase must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -181,11 +187,45 @@ def _report_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float
     return cells, True
 
 
+def _metrics_cells(payload: Dict[str, object]) -> Tuple[Dict[str, Dict[str, float]], bool]:
+    """The ``metrics`` view over a ``trial_set``: the cell's obs counters.
+
+    Requires the run to have been recorded under ``--obs`` (the harness only
+    stores ``obs_metrics`` when a metrics registry was active) — a missing
+    block is an explicit error rather than an empty diff, because an empty
+    diff in CI reads as "no regressions" when it actually means "no data".
+    """
+    obs_metrics = payload.get("obs_metrics")
+    if not isinstance(obs_metrics, Mapping) or not obs_metrics:
+        raise ValueError(
+            f"run {payload.get('run_id', '?')!r} carries no obs_metrics; "
+            "re-run it with --obs to record counters"
+        )
+    stored = RunStore.trial_set_from_payload(payload)
+    metrics = {str(name): float(value) for name, value in obs_metrics.items()}
+    return {stored.label: metrics}, True
+
+
 _CELL_EXTRACTORS = {
     "trial_set": _trial_set_cells,
     "bench": _bench_cells,
     "report": _report_cells,
 }
+
+#: Counter-name suffixes that are timing- or histogram-derived and therefore
+#: never gate in the ``metrics`` view: timings jitter, and a histogram's
+#: ``.max``/``.sum`` move with scheduling even when the workload is identical.
+_INFORMATIVE_SUFFIXES = ("_seconds", ".count", ".sum", ".min", ".max")
+
+
+def _classify_counter(baseline: float, candidate: float, thresholds: RegressionThresholds) -> str:
+    if candidate > baseline * (1.0 + thresholds.max_counter_increase):
+        return STATUS_REGRESSION
+    if baseline == 0 and candidate > 0:
+        return STATUS_REGRESSION
+    if candidate < baseline:
+        return STATUS_IMPROVED
+    return STATUS_OK
 
 
 def _classify(
@@ -218,6 +258,7 @@ def diff_runs(
     baseline: Dict[str, object],
     candidate: Dict[str, object],
     thresholds: Optional[RegressionThresholds] = None,
+    view: Optional[str] = None,
 ) -> RunDiff:
     """Compare two loaded run documents cell by cell.
 
@@ -227,17 +268,32 @@ def diff_runs(
     a disjoint diff is useless but not a CI failure.  Wall clock gates only
     when *both* runs computed every trial fresh (``cached_trials`` of 0);
     a warm result cache on either side turns it informative.
+
+    ``view="metrics"`` switches a trial-set diff from its aggregate outcome
+    to its obs counters (both runs must have been recorded under ``--obs``):
+    every deterministic counter gates against ``max_counter_increase``, so CI
+    can catch "this change doubled the rounds exchanged" even when the wall
+    clock is too noisy to notice.
     """
     thresholds = thresholds or RegressionThresholds()
     kind_a, kind_b = baseline.get("kind"), candidate.get("kind")
     if kind_a != kind_b:
         raise ValueError(f"cannot diff a {kind_a!r} run against a {kind_b!r} run")
-    extractor = _CELL_EXTRACTORS.get(str(kind_a))
-    if extractor is None:
-        raise ValueError(
-            f"runs of kind {kind_a!r} are not diffable (diffable kinds: "
-            f"{', '.join(sorted(_CELL_EXTRACTORS))})"
-        )
+    if view == "metrics":
+        if kind_a != "trial_set":
+            raise ValueError(
+                f"the metrics view diffs trial_set runs, not {kind_a!r} runs"
+            )
+        extractor = _metrics_cells
+    elif view is not None:
+        raise ValueError(f"unknown diff view {view!r} (views: metrics)")
+    else:
+        extractor = _CELL_EXTRACTORS.get(str(kind_a))
+        if extractor is None:
+            raise ValueError(
+                f"runs of kind {kind_a!r} are not diffable (diffable kinds: "
+                f"{', '.join(sorted(_CELL_EXTRACTORS))})"
+            )
     cells_a, wall_gated_a = extractor(baseline)
     cells_b, wall_gated_b = extractor(candidate)
     gate_wall_clock = wall_gated_a and wall_gated_b
@@ -258,7 +314,13 @@ def diff_runs(
                 # e.g. wall clock recorded on only one side (older writer)
                 rows.append(CellDelta(cell, metric, value_a, value_b, STATUS_OK))
                 continue
-            status = _classify(metric, value_a, value_b, thresholds, gate_wall_clock)
+            if view == "metrics":
+                if metric.endswith(_INFORMATIVE_SUFFIXES):
+                    status = STATUS_OK
+                else:
+                    status = _classify_counter(value_a, value_b, thresholds)
+            else:
+                status = _classify(metric, value_a, value_b, thresholds, gate_wall_clock)
             rows.append(CellDelta(cell, metric, value_a, value_b, status))
     return RunDiff(
         baseline_id=str(baseline.get("run_id", "?")),

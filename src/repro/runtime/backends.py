@@ -32,11 +32,24 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import RunMetrics
 from repro.core.engine import simulate
+from repro.obs import get_obs
 from repro.runtime.spec import TrialSpec
 
 
 def execute_trial(spec: TrialSpec) -> RunMetrics:
     """Run one trial: build a fresh adversary from the trial seed and simulate."""
+    tracer = get_obs().tracer
+    if tracer is not None:
+        # ``trial()`` applies the tracer's sampling policy: an unsampled trial
+        # suppresses its own span and every engine span opened under it.
+        with tracer.trial(seed=spec.seed, scheme=spec.scheme.name) as span:
+            adversary = spec.adversary_factory(spec.seed)
+            result = simulate(
+                spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed
+            )
+            if span is not None:
+                span.set(success=result.success, iterations=result.iterations_run)
+            return result.metrics
     adversary = spec.adversary_factory(spec.seed)
     result = simulate(spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed)
     return result.metrics
@@ -88,6 +101,11 @@ class ProcessPoolBackend(ExecutionBackend):
     per cell, and paying pool startup per cell would eat the speedup.  Call
     :meth:`close` (or use the backend as a context manager) to release the
     workers early; otherwise they are reaped at interpreter exit.
+
+    Observability caveat: worker *processes* do not inherit the ambient
+    :mod:`repro.obs` context, so trials executed in the pool run
+    uninstrumented (no spans, no engine counter flush).  The serial and
+    distributed backends observe everything; use one of those when tracing.
     """
 
     name = "process-pool"

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.analysis.metrics import RunMetrics
+from repro.obs import get_obs
 from repro.runtime.spec import TrialKey
 
 #: Bump when the on-disk entry format changes incompatibly.
@@ -173,11 +174,20 @@ class ResultCache:
             os.replace(temp_path, self._path)
         finally:
             temp_path.unlink(missing_ok=True)
-        return {
+        outcome = {
             "kept": len(latest),
             "dropped_superseded": counts["total"] - counts["invalid"] - len(latest),
             "dropped_invalid": counts["invalid"],
         }
+        registry = get_obs().metrics
+        if registry is not None:
+            registry.inc_many(
+                {
+                    "cache.compactions": 1,
+                    "cache.compact_dropped": outcome["dropped_superseded"] + outcome["dropped_invalid"],
+                }
+            )
+        return outcome
 
     def clear(self) -> None:
         """Drop the in-memory map and the disk mirror (if any)."""

@@ -39,11 +39,13 @@ from __future__ import annotations
 import math
 import socket
 import threading
+import time
 import warnings
 from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics
+from repro.obs import MetricsRegistry, Tracer, get_logger, get_obs
 from repro.runtime.backends import ExecutionBackend
 from repro.runtime.cache import CACHE_SCHEMA_VERSION
 from repro.runtime.distributed.wire import (
@@ -57,6 +59,8 @@ from repro.runtime.spec import TrialSpec, fingerprint_trial
 
 #: A chunk: (chunk_id, [(index into the run's spec list, spec), ...]).
 _Chunk = Tuple[int, List[Tuple[int, TrialSpec]]]
+
+_log = get_logger("distributed")
 
 
 def parse_worker_address(address: str) -> Tuple[str, int]:
@@ -122,8 +126,23 @@ class _WorkerLink:
         hits = response.get("hits", {})
         return hits if isinstance(hits, dict) else {}
 
-    def execute(self, chunk_id: int, specs: Sequence[TrialSpec]) -> List[RunMetrics]:
-        """Run one chunk remotely; heartbeat frames reset the read timeout."""
+    def execute(
+        self,
+        chunk_id: int,
+        specs: Sequence[TrialSpec],
+        trace: Optional[Dict[str, Any]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> List[RunMetrics]:
+        """Run one chunk remotely; heartbeat frames reset the read timeout.
+
+        ``trace`` rides inside the execute frame so the worker records this
+        chunk's spans under the coordinator's trace id; the result frame's
+        ``spans`` are adopted into ``tracer``.  ``registry`` receives the
+        observed inter-frame gap as the ``distributed.heartbeat_seconds``
+        histogram — the live measure of how close a worker runs to its
+        declared pulse (and how near the timeout the cluster is operating).
+        """
         try:
             encoded = encode_specs(specs)
         except Exception as exc:
@@ -134,9 +153,17 @@ class _WorkerLink:
                 "trial specs must be picklable to cross the wire (module-level "
                 f"functions or dataclasses, never lambdas/closures): {exc}"
             ) from exc
-        send_frame(self.sock, {"type": "execute", "chunk_id": chunk_id, "specs": encoded})
+        request: Dict[str, Any] = {"type": "execute", "chunk_id": chunk_id, "specs": encoded}
+        if trace is not None:
+            request["trace"] = trace
+        send_frame(self.sock, request)
+        previous_frame = time.monotonic()
         while True:
             frame = recv_frame(self.sock)  # socket timeout = heartbeat_timeout
+            if registry is not None:
+                now = time.monotonic()
+                registry.observe("distributed.heartbeat_seconds", now - previous_frame)
+                previous_frame = now
             kind = frame.get("type")
             if kind == "heartbeat":
                 continue
@@ -144,6 +171,8 @@ class _WorkerLink:
                 payloads = frame.get("metrics", [])
                 if frame.get("chunk_id") != chunk_id or len(payloads) != len(specs):
                     raise WireError(f"worker {self.address} returned a mismatched result frame")
+                if tracer is not None:
+                    tracer.adopt(frame.get("spans") or ())
                 return [RunMetrics.from_payload(payload) for payload in payloads]
             if kind == "error":
                 raise TrialExecutionError(
@@ -328,6 +357,14 @@ class DistributedBackend(ExecutionBackend):
         if failures:
             # Running degraded is better than failing a long sweep, but never
             # silently: the operator asked for a bigger cluster than they got.
+            # The warning stays (callers assert on it); the structured event
+            # carries the same facts for log aggregation.
+            _log.warning(
+                "cluster_degraded",
+                reachable=len(links),
+                requested=len(self.workers),
+                unreachable="; ".join(failures),
+            )
             warnings.warn(
                 f"distributed run degraded to {len(links)}/{len(self.workers)} worker(s); "
                 "unreachable: " + "; ".join(failures),
@@ -369,6 +406,11 @@ class DistributedBackend(ExecutionBackend):
         if not specs:
             self._last_attribution = {"backend": self.name, "workers": {}}
             return []
+        # Capture the ambient obs context on the caller's thread: the drive
+        # threads below cannot see its thread-local scope, so the registry,
+        # tracer and parent span id travel to them explicitly.
+        obs = get_obs()
+        registry, tracer = obs.metrics, obs.tracer
         links = self._connect()
         stats: Dict[str, Dict[str, int]] = {
             link.worker_id: {
@@ -389,7 +431,7 @@ class DistributedBackend(ExecutionBackend):
                         "every distributed worker died before dispatch "
                         f"({len(pending)} trial(s) unassigned)"
                     )
-                self._dispatch_phase(links, pending, results, stats)
+                self._dispatch_phase(links, pending, results, stats, registry, tracer)
         finally:
             self._last_attribution = {
                 "backend": self.name,
@@ -401,6 +443,17 @@ class DistributedBackend(ExecutionBackend):
                 # A degraded run must say so in its stored record, not just
                 # in a transient warning.
                 self._last_attribution["unreachable_workers"] = list(self._connect_failures)
+            if registry is not None:
+                registry.inc_many({
+                    "distributed.runs": 1,
+                    "distributed.trials_total": len(specs),
+                    "distributed.chunks_dispatched": sum(r["dispatched"] for r in stats.values()),
+                    "distributed.chunks_stolen": sum(r["stolen"] for r in stats.values()),
+                    "distributed.chunks_redispatched": sum(r["redispatched"] for r in stats.values()),
+                    "distributed.remote_trials_executed": sum(r["trials_executed"] for r in stats.values()),
+                    "distributed.remote_cache_hits": sum(r["cache_hits"] for r in stats.values()),
+                    "distributed.unreachable_workers": len(self._connect_failures),
+                })
         missing = [index for index, value in enumerate(results) if value is None]
         if missing:  # pragma: no cover - defended against above, belt and braces
             raise RuntimeError(f"{len(missing)} trial(s) were never executed")
@@ -429,7 +482,13 @@ class DistributedBackend(ExecutionBackend):
                 return
             try:
                 hits = link.probe(list(unresolved))
-            except (OSError, ConnectionError, WireError):
+            except (OSError, ConnectionError, WireError) as exc:
+                _log.warning(
+                    "worker_probe_failed",
+                    worker=link.worker_id,
+                    address=link.address,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 self._discard(link)
                 links.remove(link)
                 continue
@@ -451,7 +510,13 @@ class DistributedBackend(ExecutionBackend):
         pending: List[Tuple[int, TrialSpec]],
         results: List[Optional[RunMetrics]],
         stats: Dict[str, Dict[str, int]],
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        # The caller's innermost span (run_trials' trial_set span) becomes
+        # the explicit parent of every dispatch_chunk span — drive threads
+        # have empty thread-local span stacks, so auto-parenting cannot work.
+        parent_span = tracer.current_span_id() if tracer is not None else None
         chunk_size = self.chunk_size or max(1, math.ceil(len(pending) / (len(links) * 4)))
         chunks: List[_Chunk] = [
             (chunk_id, pending[start : start + chunk_size])
@@ -471,8 +536,30 @@ class DistributedBackend(ExecutionBackend):
                     return
                 chunk, provenance = taken
                 chunk_id, members = chunk
+                chunk_specs = [spec for _, spec in members]
                 try:
-                    metrics = link.execute(chunk_id, [spec for _, spec in members])
+                    if tracer is not None:
+                        with tracer.span(
+                            "dispatch_chunk",
+                            parent_id=parent_span,
+                            chunk=chunk_id,
+                            worker=link.worker_id,
+                            provenance=provenance,
+                            trials=len(members),
+                        ) as dispatch_span:
+                            metrics = link.execute(
+                                chunk_id,
+                                chunk_specs,
+                                trace={
+                                    "trace_id": tracer.trace_id,
+                                    "parent": dispatch_span.span_id if dispatch_span is not None else None,
+                                    "sample_every": tracer.sample_every,
+                                },
+                                registry=registry,
+                                tracer=tracer,
+                            )
+                    else:
+                        metrics = link.execute(chunk_id, chunk_specs, registry=registry)
                 except TrialExecutionError as exc:
                     # Deterministic failure: re-dispatching would fail again
                     # everywhere.  Surface it and stop the whole run.
@@ -481,9 +568,16 @@ class DistributedBackend(ExecutionBackend):
                     queues.done(chunk_completed=False, chunk=chunk)
                     queues.abort()
                     return
-                except (OSError, ConnectionError, WireError, socket.timeout):
+                except (OSError, ConnectionError, WireError, socket.timeout) as exc:
                     # Dead worker (crash, kill, network): give its work back
                     # and forget the connection so the next run redials.
+                    _log.warning(
+                        "worker_dead",
+                        worker=link.worker_id,
+                        address=link.address,
+                        chunk=chunk_id,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     self._discard(link)
                     queues.done(chunk_completed=False, chunk=chunk)
                     queues.drop_queue(link.worker_id)

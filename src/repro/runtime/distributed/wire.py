@@ -29,6 +29,15 @@ request         response                 meaning
 ``stats``       ``stats``                executed counter + cache counters
 ``shutdown``    ``bye``                  stop serving after this connection
 ==============  =======================  =====================================
+
+Tracing rides the existing vocabulary instead of extending it: an
+``execute`` request may carry an optional ``trace`` object —
+``{"trace_id", "parent", "sample_every"}`` — and the matching ``result``
+response then carries ``spans``, the finished span dicts the worker's local
+:class:`~repro.obs.trace.Tracer` recorded under that trace id.  The
+coordinator adopts those spans into its own tracer, so one distributed
+sweep yields one coherent cross-host trace.  Both fields are optional, so
+tracing-on and tracing-off peers interoperate within one protocol version.
 """
 
 from __future__ import annotations

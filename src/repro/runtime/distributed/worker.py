@@ -27,12 +27,14 @@ coordinator's side.
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from pathlib import Path
 
+from repro.obs import MetricsRegistry, Tracer, get_logger, use_obs
 from repro.runtime.backends import execute_trial
 from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache
 from repro.runtime.distributed.wire import (
@@ -60,6 +62,7 @@ class WorkerServer:
         worker_id: Optional[str] = None,
         heartbeat_interval: float = 1.0,
         crash_after_trials: Optional[int] = None,
+        status_port: Optional[int] = None,
     ) -> None:
         if heartbeat_interval <= 0:
             raise ValueError("heartbeat_interval must be positive")
@@ -68,17 +71,64 @@ class WorkerServer:
         self.crash_after_trials = crash_after_trials
         #: Trials this worker actually simulated (cache probes never count).
         self.trials_executed = 0
+        #: Always-on per-daemon metrics: chunks run on connection threads
+        #: under ``use_obs(metrics=self.registry, ...)``, so engine/transport
+        #: counters accumulate here for the whole daemon lifetime.  Exposed
+        #: live by the ``--status-port`` HTTP endpoint and the ``stats`` frame.
+        self.registry = MetricsRegistry()
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
         self.worker_id = worker_id or f"{socket.gethostname()}:{self.port}"
+        self._log = get_logger("worker")
         self._shutdown = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()  # guards trials_executed / cache puts
+        #: The bound status port (None when the endpoint is disabled).
+        self.status_port: Optional[int] = None
+        self._status_server = None
+        if status_port is not None:
+            self._start_status_server(status_port)
 
     @property
     def address(self) -> str:
         """The ``host:port`` string a coordinator connects to."""
         return f"{self.host}:{self.port}"
+
+    # -- status endpoint -----------------------------------------------------
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        """Everything an operator wants at a glance: identity, progress,
+        cache state and the live metrics registry."""
+        return {
+            "worker_id": self.worker_id,
+            "address": self.address,
+            "trials_executed": self.trials_executed,
+            "cache_entries": len(self.cache),
+            "cache": self.cache.stats.as_dict(),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def _start_status_server(self, port: int) -> None:
+        """Serve :meth:`status_snapshot` as JSON on ``GET /`` (``--status-port``)."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        worker = self
+
+        class _StatusHandler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server naming
+                body = json.dumps(worker.status_snapshot(), sort_keys=True, default=str).encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # keep HTTP chatter out of the daemon's stderr
+
+        self._status_server = ThreadingHTTPServer((self.host, port), _StatusHandler)
+        self.status_port = self._status_server.server_address[1]
+        threading.Thread(target=self._status_server.serve_forever, daemon=True).start()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -109,6 +159,10 @@ class WorkerServer:
             self._server.close()
         except OSError:
             pass
+        if self._status_server is not None:
+            self._status_server.shutdown()
+            self._status_server.server_close()
+            self._status_server = None
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5)
 
@@ -164,6 +218,7 @@ class WorkerServer:
                 "trials_executed": self.trials_executed,
                 "cache_entries": len(self.cache),
                 "cache": self.cache.stats.as_dict(),
+                "metrics": self.registry.flat_snapshot(),
             })
         elif kind == "shutdown":
             send_frame(connection, {"type": "bye", "worker_id": self.worker_id})
@@ -205,25 +260,55 @@ class WorkerServer:
 
         pulse = threading.Thread(target=heartbeat, daemon=True)
         pulse.start()
+        trace = request.get("trace")
+        tracer: Optional[Tracer] = None
+        if isinstance(trace, dict) and trace.get("trace_id"):
+            # The coordinator is tracing: record this chunk's spans under its
+            # trace id, parented onto its dispatch span, and ship them back
+            # inside the result frame for adoption.
+            tracer = Tracer(
+                sample_every=max(1, int(trace.get("sample_every") or 1)),
+                trace_id=str(trace["trace_id"]),
+                worker=self.worker_id,
+            )
         try:
             specs = decode_specs(request["specs"])
-            payloads = []
-            for spec in specs:
-                self._maybe_crash(connection)
-                metrics = execute_trial(spec)
-                with self._lock:
-                    self.trials_executed += 1
-                    self.cache.put(fingerprint_trial(spec), metrics)
-                payloads.append(metrics.to_payload())
+            payloads: List[Dict[str, Any]] = []
+
+            def run_chunk() -> None:
+                for spec in specs:
+                    self._maybe_crash(connection)
+                    metrics = execute_trial(spec)
+                    with self._lock:
+                        self.trials_executed += 1
+                        self.cache.put(fingerprint_trial(spec), metrics)
+                    payloads.append(metrics.to_payload())
+
+            with use_obs(metrics=self.registry, tracer=tracer):
+                if tracer is not None:
+                    with tracer.span(
+                        "worker_chunk",
+                        parent_id=trace.get("parent"),
+                        chunk=chunk_id,
+                        trials=len(specs),
+                    ):
+                        run_chunk()
+                else:
+                    run_chunk()
             response: Dict[str, Any] = {
                 "type": "result",
                 "worker_id": self.worker_id,
                 "chunk_id": chunk_id,
                 "metrics": payloads,
             }
+            if tracer is not None:
+                response["spans"] = tracer.drain()
         except WorkerCrash:
             raise
         except Exception as exc:  # deterministic simulation failure → report, don't die
+            self._log.warning(
+                "chunk_failed", worker=self.worker_id, chunk=chunk_id, error=f"{type(exc).__name__}: {exc}"
+            )
             response = {
                 "type": "error",
                 "worker_id": self.worker_id,

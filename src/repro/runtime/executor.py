@@ -9,9 +9,11 @@ sees all the parallelism at once), and returns the metrics in spec order.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 from repro.analysis.metrics import RunMetrics
+from repro.obs import get_obs
 from repro.runtime.backends import ExecutionBackend
 from repro.runtime.cache import ResultCache
 from repro.runtime.context import UNSET as _UNSET
@@ -34,18 +36,29 @@ def execute_trials(
     backend = backend if backend is not None else context.backend
     cache: Optional[ResultCache] = context.cache if cache is _UNSET else cache
 
+    obs = get_obs()
+    stats_before = cache.stats.as_dict() if (obs.metrics is not None and cache is not None) else None
+
     results: List[Optional[RunMetrics]] = [None] * len(specs)
     pending: List[tuple] = []
-    for index, spec in enumerate(specs):
-        if cache is None:
-            pending.append((index, spec, None))
-            continue
-        key = fingerprint_trial(spec)
-        hit = cache.get(key)
-        if hit is not None:
-            results[index] = hit
-        else:
-            pending.append((index, spec, key))
+    probe_scope = (
+        obs.tracer.span("cache_probe", trials=len(specs))
+        if obs.tracer is not None and cache is not None
+        else nullcontext()
+    )
+    with probe_scope as probe_span:
+        for index, spec in enumerate(specs):
+            if cache is None:
+                pending.append((index, spec, None))
+                continue
+            key = fingerprint_trial(spec)
+            hit = cache.get(key)
+            if hit is not None:
+                results[index] = hit
+            else:
+                pending.append((index, spec, key))
+        if probe_span is not None:
+            probe_span.set(hits=len(specs) - len(pending), misses=len(pending))
 
     if pending:
         computed = backend.run([spec for _, spec, _ in pending])
@@ -54,4 +67,9 @@ def execute_trials(
             if cache is not None and key is not None:
                 cache.put(key, metrics)
 
+    if stats_before is not None:
+        stats_after = cache.stats.as_dict()
+        obs.metrics.inc_many(
+            {f"cache.{name}": stats_after[name] - stats_before[name] for name in stats_after}
+        )
     return results  # type: ignore[return-value]  # every slot is filled above

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.metrics import AggregateMetrics, RunMetrics
+from repro.obs import get_obs
 
 #: Bump when the run-document layout changes incompatibly.
 STORE_SCHEMA_VERSION = 1
@@ -131,6 +132,9 @@ class RunStore:
                     os.link(temp, self.root / f"{run_id}.json")
                     break
                 except FileExistsError:
+                    registry = get_obs().metrics
+                    if registry is not None:
+                        registry.inc("store.claim_conflicts")
                     continue  # lost the race for this id — rescan and retry
         finally:
             temp.unlink(missing_ok=True)
@@ -158,6 +162,9 @@ class RunStore:
             )
         elif payload.get("kind") == "bench":
             summary["trials"] = len(payload.get("benchmarks", []))
+            summary["success_rate"] = ""
+        elif payload.get("kind") == "trace":
+            summary["trials"] = len(payload.get("spans", []))
             summary["success_rate"] = ""
         else:
             summary["trials"] = len(payload.get("rows", []))
@@ -235,6 +242,9 @@ class RunStore:
     def _rebuild_index(self) -> Dict[str, Dict[str, object]]:
         """Re-derive the index by scanning every run document (the slow path
         the index exists to avoid; taken only when missing or stale)."""
+        registry = get_obs().metrics
+        if registry is not None:
+            registry.inc("store.index_rebuilds")
         runs: Dict[str, Dict[str, object]] = {}
         for path in sorted(self.root.glob(f"{_RUN_PREFIX}*.json")):
             token = self._stat_token(path)  # before the read: a racing write
@@ -261,6 +271,7 @@ class RunStore:
         wall_clock_seconds: Optional[float] = None,
         cached_trials: Optional[int] = None,
         worker_attribution: Optional[Dict[str, object]] = None,
+        obs_metrics: Optional[Dict[str, float]] = None,
     ) -> str:
         """Persist one experimental cell; returns the new run id.
 
@@ -269,6 +280,10 @@ class RunStore:
         run as informative only.  ``worker_attribution`` is the per-worker
         summary of a distributed run (who executed / stole / re-ran what);
         purely informative, so analytics and diffing ignore it.
+        ``obs_metrics`` is the flat metric delta this cell produced in the
+        ambient :class:`~repro.obs.metrics.MetricsRegistry` (present only
+        when one was active) — ``repro runs metrics`` renders it and
+        ``repro runs diff --kind metrics`` gates on it.
         """
         payload: Dict[str, object] = {
             "kind": "trial_set",
@@ -284,7 +299,35 @@ class RunStore:
             payload["cached_trials"] = cached_trials
         if worker_attribution is not None:
             payload["workers"] = worker_attribution
+        if obs_metrics is not None:
+            payload["obs_metrics"] = obs_metrics
         return self._write(payload)
+
+    def record_trace(
+        self,
+        label: str,
+        trace_id: str,
+        spans: Sequence[Dict[str, object]],
+        experiment: str = "trace",
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> str:
+        """Persist one trace (the finished span dicts of one
+        :class:`~repro.obs.trace.Tracer` drain); returns the new run id.
+
+        Spans from a distributed sweep arrive already adopted onto the
+        coordinator's trace id, so one record holds the whole cross-host
+        trace; ``repro runs trace <run>`` renders it.
+        """
+        return self._write(
+            {
+                "kind": "trace",
+                "label": label,
+                "experiment": experiment,
+                "parameters": parameters or {},
+                "trace_id": trace_id,
+                "spans": [dict(span) for span in spans],
+            }
+        )
 
     def record_bench(
         self,

@@ -17,6 +17,7 @@ The guarantees pinned here:
 from __future__ import annotations
 
 import json
+import threading
 from datetime import datetime, timedelta, timezone
 
 import pytest
@@ -336,6 +337,82 @@ class TestGcRuns:
     def test_gc_without_criteria_is_refused(self, tmp_path):
         with pytest.raises(ValueError):
             gc_runs(RunStore(tmp_path))
+
+
+class TestGcRunsEdgeCases:
+    """gc against stores that never saw a trial set, and gc racing writers."""
+
+    def test_bench_only_store_keeps_the_latest_session(self, tmp_path):
+        store = RunStore(tmp_path)
+        old = [store.record_bench([{"name": "b", "mean_seconds": 0.1}]) for _ in range(3)]
+        newest = store.record_bench([{"name": "b", "mean_seconds": 0.1}])
+        result = gc_runs(store, keep_count=0)  # maximum pressure
+        assert newest in result.kept
+        assert set(result.deleted) == set(old)
+        assert [row["run_id"] for row in store.list_runs()] == [newest]
+
+    def test_bench_only_store_age_prune_never_empties_it(self, tmp_path):
+        store = RunStore(tmp_path)
+        runs = [store.record_bench([{"name": "b", "mean_seconds": 0.1}]) for _ in range(2)]
+        ancient = datetime.now(timezone.utc) - timedelta(days=365)
+        for run_id in runs:
+            _set_created_at(store, run_id, ancient)
+        result = gc_runs(store, max_age_days=30)
+        assert result.deleted == [runs[0]]  # the newest bench survives, however old
+        assert store.load(runs[-1])
+
+    def test_gc_leaves_a_concurrent_writers_staging_file_alone(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = _record_cell(store)
+        b = _record_cell(store)
+        # A concurrent _write() in flight: its document is staged but not yet
+        # hard-linked onto a run id.  gc must neither delete nor index it.
+        staging = tmp_path / ".staging-racer.json"
+        staging.write_text("{}")
+        result = gc_runs(store, keep_count=1)
+        assert staging.exists()
+        assert a in result.deleted and b in result.kept
+        assert {row["run_id"] for row in store.list_runs()} == {b}
+
+    def test_gc_discovers_a_claimed_but_unindexed_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        a = _record_cell(store)
+        # A writer that claimed its id (the hard link landed) but crashed
+        # before updating index.json: the document exists, the index does not
+        # know it.  gc must see it via the rebuild — and protect it, because
+        # it is now the newest run of the experiment.
+        payload = json.loads((tmp_path / f"{a}.json").read_text())
+        payload["run_id"] = "run-000099"
+        (tmp_path / "run-000099.json").write_text(json.dumps(payload))
+        result = gc_runs(store, keep_count=1)
+        assert "run-000099" in result.kept
+        assert a in result.deleted
+
+    def test_gc_races_a_live_writer_without_corruption(self, tmp_path):
+        store = RunStore(tmp_path)
+        for _ in range(5):
+            _record_cell(store)
+        errors: list = []
+
+        def writer() -> None:
+            other = RunStore(tmp_path)  # separate handle, like a second process
+            try:
+                for _ in range(10):
+                    _record_cell(other)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(5):
+                gc_runs(store, keep_count=3)
+        finally:
+            thread.join()
+        assert not errors
+        # Whatever interleaving happened, the index self-heals to match disk.
+        on_disk = {path.stem for path in tmp_path.glob("run-*.json")}
+        assert {row["run_id"] for row in store.list_runs()} == on_disk
 
 
 class TestFingerprintMemoization:

@@ -368,3 +368,42 @@ def test_full_trial_bit_identity_across_fast_path_switches(case, gossip_clique4)
             fast_hashing,
             batch_rounds,
         )
+
+
+@pytest.mark.parametrize("case", sorted(_TRIAL_CASES))
+def test_full_trial_bit_identity_with_obs_on_and_off(case, gossip_clique4):
+    """Observability is a pure reader: metrics + tracing change nothing.
+
+    The tracer draws its ids from ``os.urandom`` and the registry flush runs
+    after the simulation, so every field of the result — outputs, metrics,
+    channel summary — must match the uninstrumented run bit for bit, on both
+    the fast and the reference hashing paths.
+    """
+    from repro.obs import MetricsRegistry, Tracer, use_obs
+
+    scheme_factory, adversary_factory = _TRIAL_CASES[case]
+
+    def run(fast_hashing: bool):
+        simulator = InteractiveCodingSimulator(
+            gossip_clique4,
+            scheme=scheme_factory(),
+            adversary=adversary_factory(),
+            seed=7,
+        )
+        simulator.fast_hashing = fast_hashing
+        return simulator.run()
+
+    for fast_hashing in (False, True):
+        plain = _trial_fingerprint(run(fast_hashing))
+        registry = MetricsRegistry()
+        with use_obs(metrics=registry, tracer=Tracer()):
+            observed = _trial_fingerprint(run(fast_hashing))
+        assert observed == plain, (case, fast_hashing)
+        # The flush attributed the hash builds to the right implementation.
+        counters = registry.snapshot()["counters"]
+        if fast_hashing:
+            assert counters.get("hashing.packed_builds", 0) > 0
+            assert counters.get("hashing.reference_builds", 0) == 0
+        else:
+            assert counters.get("hashing.reference_builds", 0) > 0
+            assert counters.get("hashing.packed_builds", 0) == 0

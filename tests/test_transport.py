@@ -350,3 +350,59 @@ def test_batched_flag_routes_through_per_slot_path():
         messages, 4, "simulation"
     )
     assert a.stats == b.stats
+
+
+class TestDispatchCounters:
+    """The observability counters on the transport are plain int attributes:
+    they classify every window (sparse fast path vs dense) without touching
+    deliveries, stats, or any RNG stream."""
+
+    def test_windows_are_classified_sparse_or_dense(self):
+        graph = line_topology(3)
+        network = NoisyNetwork(graph, adversary=NoiselessAdversary())
+        # sparse permitted + non-inserting adversary → the sparse fast path
+        network.exchange_window({(0, 1): [1, 0]}, 2, "simulation", sparse=True)
+        assert (network.windows_exchanged, network.sparse_dispatches, network.dense_dispatches) == (1, 1, 0)
+        network.exchange_window({(0, 1): [1, 0]}, 2, "simulation")  # sparse not requested
+        assert (network.sparse_dispatches, network.dense_dispatches) == (1, 1)
+        inserting = NoisyNetwork(
+            graph,
+            adversary=RandomNoiseAdversary(
+                corruption_probability=0.1, insertion_probability=0.1, seed=3
+            ),
+        )
+        # sparse requested but the adversary may insert → dense anyway
+        inserting.exchange_window({(0, 1): [1, 0]}, 2, "simulation", sparse=True)
+        assert (inserting.sparse_dispatches, inserting.dense_dispatches) == (0, 1)
+
+    def test_per_slot_path_counts_dense(self):
+        graph = line_topology(3)
+        network = NoisyNetwork(graph, adversary=NoiselessAdversary())
+        network.exchange_window_per_slot({(0, 1): [1]}, 1, "simulation")
+        assert (network.windows_exchanged, network.dense_dispatches) == (1, 1)
+
+    def test_deliveries_and_stats_are_bit_identical_under_an_obs_scope(self):
+        from repro.obs import MetricsRegistry, Tracer, use_obs
+
+        graph = line_topology(4)
+        messages = {(0, 1): [1, 0, 1], (2, 1): [0, 1, 0], (3, 2): [1, 1, 1]}
+
+        def drive(network):
+            out = []
+            for phase in ("meeting_points", "simulation", "rewind"):
+                out.append(network.exchange_window(messages, 3, phase))
+            return out
+
+        plain = NoisyNetwork(graph, adversary=RandomNoiseAdversary(corruption_probability=0.2, seed=9))
+        observed = NoisyNetwork(graph, adversary=RandomNoiseAdversary(corruption_probability=0.2, seed=9))
+        plain_out = drive(plain)
+        with use_obs(metrics=MetricsRegistry(), tracer=Tracer()):
+            observed_out = drive(observed)
+        assert plain_out == observed_out
+        assert plain.stats == observed.stats
+        assert plain.current_round == observed.current_round
+        assert (plain.windows_exchanged, plain.sparse_dispatches, plain.dense_dispatches) == (
+            observed.windows_exchanged,
+            observed.sparse_dispatches,
+            observed.dense_dispatches,
+        )
