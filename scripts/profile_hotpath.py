@@ -15,7 +15,9 @@ one-command answer::
 ``--per-slot`` routes the trial through the single-slot compatibility
 transport instead of the batched one — diffing the two profiles shows
 exactly what the batched window path removed (and whether a regression crept
-back in).
+back in).  ``--no-merge`` does the same for whole-phase round merging: it
+pins ``merge_phases = False`` so the flag/simulation/rewind phases run the
+per-round reference schedule.
 
 ``--obs`` profiles the same trial under an ambient observability scope and,
 after the frame table, prints the metrics-registry snapshot plus per-name
@@ -81,6 +83,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="profile the single-slot compatibility transport instead of the batched path",
     )
     parser.add_argument(
+        "--no-merge",
+        action="store_true",
+        help="disable whole-phase round merging (profile the per-round reference schedule)",
+    )
+    parser.add_argument(
         "--obs",
         action="store_true",
         help="run under an observability scope and print counters + span totals",
@@ -134,6 +141,7 @@ def main(argv=None) -> int:
             workload.protocol, scheme=scheme, adversary=adversary, seed=args.seed
         )
         simulator.network.batched = not args.per_slot
+        simulator.merge_phases = not args.no_merge
 
         profile = cProfile.Profile()
         profile.enable()

@@ -1,6 +1,7 @@
 """Noise models: oblivious and non-oblivious adversaries plus budgeting."""
 
 from repro.adversary.base import Adversary, NoiseBudget, NoiselessAdversary
+from repro.adversary.contract import ContractReport, ContractViolation, check_contract
 from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
 from repro.adversary.strategies import (
     BurstAdversary,
@@ -15,8 +16,11 @@ from repro.adversary.strategies import (
 
 __all__ = [
     "Adversary",
+    "ContractReport",
+    "ContractViolation",
     "NoiseBudget",
     "NoiselessAdversary",
+    "check_contract",
     "AdditiveObliviousAdversary",
     "FixingObliviousAdversary",
     "BurstAdversary",

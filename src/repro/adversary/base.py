@@ -19,6 +19,13 @@ be bit-identical to that fallback.  Corruption accounting is done by the
 transport, not by the adversary, so an adversary cannot under-report its own
 noise.
 
+On top of both sits the opt-in **slot-addressed contract**
+(``Adversary.slot_addressed`` + ``corruption_schedule``): corruption as a
+pure function of ``(round, link, symbol)`` with no cross-slot state, which
+is what lets the engine merge a whole phase's rounds into a single
+transport dispatch.  See :meth:`Adversary.corruption_schedule` for the laws
+and ``repro.adversary.check_contract`` for the conformance probe.
+
 The theorems bound the noise as a *fraction of the actual communication* of
 the executed instance, which is not known in advance.  :class:`NoiseBudget`
 implements that accounting: adaptive adversaries ask it whether another
@@ -111,6 +118,21 @@ class Adversary(abc.ABC):
     #: Whether the adversary commits to its noise before seeing the execution.
     oblivious: bool = True
 
+    #: The slot-addressed contract flag.  ``True`` declares that this
+    #: adversary's corruption decision for every channel slot is a *pure
+    #: function of (absolute round, directed link, sent symbol)* — no
+    #: sequential RNG streams, no budgets fed by realised communication, no
+    #: cross-slot state of any kind — and that :meth:`corruption_schedule`
+    #: implements exactly that function.  Under the contract the engine may
+    #: legally precompute a whole phase's delivery schedule and merge the
+    #: phase's rounds into one transport dispatch
+    #: (:meth:`~repro.network.transport.NoisyNetwork.exchange_phase`):
+    #: evaluating a slot early, twice, or grouped into a different window is
+    #: guaranteed to be unobservable.  Stateful adversaries must truthfully
+    #: report ``False`` and keep the lockstep round-by-round path.
+    #: ``repro.adversary.check_contract`` probes the laws below.
+    slot_addressed: bool = False
+
     #: Whether the adversary may deliver symbols on slots where the sender was
     #: silent (insertions).  This is a real, load-bearing attribute of the
     #: adversary contract (not duck typing): every adversary must set it, and
@@ -173,6 +195,42 @@ class Adversary(abc.ABC):
             append(received)
         return delivered
 
+    def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        """Pure evaluation of the delivery schedule for one window on one link.
+
+        Only available when :attr:`slot_addressed` is ``True``.  Returns the
+        delivered window, like :meth:`corrupt_window`, but under much stronger
+        laws — the *slot-addressed contract*:
+
+        * **purity** — the call reads and writes no mutable state: two
+          independent evaluations of the same ``(ctx, symbols)`` return the
+          same schedule, and the adversary's observable state (RNG streams,
+          budgets, counters) is identical before and after;
+        * **slot decomposability** — slot ``i`` of a window evaluation equals
+          the single-slot evaluation at the same absolute round:
+          ``corruption_schedule(ctx, symbols)[i] ==
+          corruption_schedule(ctx_at(base_round + i), (symbols[i],))[0]``;
+        * **path agreement** — while ``slot_addressed`` holds,
+          :meth:`corrupt` and :meth:`corrupt_window` delegate to (or agree
+          bit for bit with) this function, so the per-slot, batched-window
+          and merged-phase transmission paths all deliver the same symbols.
+
+        These laws are what make whole-phase round merging legal: the engine
+        evaluates slots the moment it knows the sent symbol (data-dependent,
+        out of dispatch order) and the transport accounts the whole phase in
+        one pass, with no way for the grouping to change the outcome.
+        ``repro.adversary.check_contract`` probes all three laws.
+        """
+        if not self.slot_addressed:
+            raise RuntimeError(
+                f"{type(self).__name__} is not slot-addressed: corruption_schedule is only "
+                "defined when slot_addressed is True"
+            )
+        raise NotImplementedError(
+            f"{type(self).__name__} declares slot_addressed=True but does not "
+            "implement corruption_schedule"
+        )
+
     def notify_delivery(self, ctx: TransmissionContext, sent: Symbol, received: Symbol) -> None:
         """Hook called after every slot; adaptive adversaries may record state."""
 
@@ -186,9 +244,13 @@ class NoiselessAdversary(Adversary):
     name = "noiseless"
     oblivious = True
     may_insert = False
+    slot_addressed = True  # the identity channel is trivially pure
 
     def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
         return sent
 
     def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+        return list(symbols)
+
+    def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         return list(symbols)

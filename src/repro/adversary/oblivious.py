@@ -57,6 +57,10 @@ class AdditiveObliviousAdversary(Adversary):
     pattern: Dict[SlotKey, int] = field(default_factory=dict)
     name: str = "oblivious-additive"
     oblivious: bool = True
+    # The pattern is immutable and indexed by absolute (round, link): the
+    # noise is a pure function of the slot coordinates and the sent symbol,
+    # which is the slot-addressed contract verbatim.
+    slot_addressed: bool = True
 
     def __post_init__(self) -> None:
         for key, offset in self.pattern.items():
@@ -71,7 +75,7 @@ class AdditiveObliviousAdversary(Adversary):
             return sent
         return apply_additive_noise(sent, offset)
 
-    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+    def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         # Precompute the additive noise mask of this window from the pattern;
         # clean windows (the common case) pass through with no per-slot work.
         pattern = self.pattern
@@ -86,6 +90,8 @@ class AdditiveObliviousAdversary(Adversary):
             sent if offset == 0 else apply_additive_noise(sent, offset)
             for sent, offset in zip(symbols, mask)
         ]
+
+    corrupt_window = corruption_schedule
 
     def planned_corruptions(self) -> int:
         return len(self.pattern)
@@ -107,6 +113,9 @@ class FixingObliviousAdversary(Adversary):
     pattern: Dict[SlotKey, Symbol] = field(default_factory=dict)
     name: str = "oblivious-fixing"
     oblivious: bool = True
+    # Like the additive adversary: an immutable pattern keyed on absolute
+    # slot coordinates, pure in (round, link, symbol).
+    slot_addressed: bool = True
 
     def __post_init__(self) -> None:
         for key, value in self.pattern.items():
@@ -120,7 +129,7 @@ class FixingObliviousAdversary(Adversary):
             return self.pattern[key]
         return sent
 
-    def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
+    def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         # ``None`` is a legal pattern value (force silence), so membership is
         # resolved with a private sentinel rather than ``dict.get``'s default.
         pattern = self.pattern
@@ -137,6 +146,8 @@ class FixingObliviousAdversary(Adversary):
             sent if fixed is missing else fixed
             for sent, fixed in zip(symbols, out)
         ]
+
+    corrupt_window = corruption_schedule
 
     def planned_corruptions(self) -> int:
         return len(self.pattern)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.adversary import ContractViolation, check_contract
 from repro.adversary.base import Adversary, NoiseBudget, NoiselessAdversary
 from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
 from repro.adversary.strategies import (
@@ -489,3 +490,237 @@ class TestCorruptWindow:
         assert a == b and a != c
         assert hash(a) == hash(b)
         assert {a, b, c} == {a, c}
+
+
+#: Every stock adversary in every shipped mode, as fresh-instance builders.
+#: The round-/link-keyed ones are configured to overlap the conformance
+#: checker's default probe region so the interesting branches execute.
+STOCK_CONTRACT_CASES = {
+    "noiseless": lambda: NoiselessAdversary(),
+    "additive": lambda: AdditiveObliviousAdversary(
+        pattern={(3, 0, 1): 1, (17, 1, 0): 2, (40, 1, 2): 1}
+    ),
+    "fixing": lambda: FixingObliviousAdversary(
+        pattern={(5, 0, 1): None, (20, 1, 2): 1, (33, 2, 1): 0}
+    ),
+    "random-noise": lambda: RandomNoiseAdversary(
+        corruption_probability=0.3, insertion_probability=0.2, seed=1
+    ),
+    "random-noise-budgeted": lambda: RandomNoiseAdversary(
+        corruption_probability=0.4, seed=2, budget=NoiseBudget(fraction=0.2)
+    ),
+    "random-noise-slot": lambda: RandomNoiseAdversary(
+        corruption_probability=0.3, insertion_probability=0.2, seed=1, slot_addressed=True
+    ),
+    "deletion": lambda: DeletionAdversary(deletion_probability=0.3, seed=3),
+    "deletion-slot": lambda: DeletionAdversary(
+        deletion_probability=0.3, seed=3, slot_addressed=True
+    ),
+    "link-targeted": lambda: LinkTargetedAdversary(
+        target=(0, 1), fraction=0.3, corruption_probability=0.8, seed=4
+    ),
+    "link-targeted-slot": lambda: LinkTargetedAdversary(
+        target=(0, 1), corruption_probability=0.8, seed=4, slot_addressed=True
+    ),
+    "burst": lambda: BurstAdversary(start_round=10, end_round=40, max_corruptions=6, seed=5),
+    "burst-slot": lambda: BurstAdversary(
+        start_round=10, end_round=40, max_corruptions=None, seed=5, slot_addressed=True
+    ),
+    "composite-slot": lambda: CompositeAdversary(
+        components=(
+            RandomNoiseAdversary(corruption_probability=0.2, seed=6, slot_addressed=True),
+            BurstAdversary(
+                start_round=20, end_round=50, max_corruptions=None, seed=7, slot_addressed=True
+            ),
+        )
+    ),
+    "composite-stateful": lambda: CompositeAdversary(
+        components=(
+            RandomNoiseAdversary(corruption_probability=0.2, seed=6),
+            BurstAdversary(start_round=20, end_round=50, max_corruptions=3, seed=7),
+        )
+    ),
+    "echo-spoofing": lambda: EchoSpoofingAdversary(target=(0, 1), fraction=0.4, seed=8),
+    "phase-targeted": lambda: PhaseTargetedAdaptiveAdversary(fraction=0.3, seed=9),
+    "rotating-link": lambda: RotatingLinkAdaptiveAdversary(
+        links=((0, 1), (1, 2)), fraction=0.3, seed=10
+    ),
+}
+
+
+class TestCheckContract:
+    """`repro.adversary.check_contract` conformance over every stock adversary."""
+
+    @pytest.mark.parametrize(
+        "builder", list(STOCK_CONTRACT_CASES.values()), ids=list(STOCK_CONTRACT_CASES)
+    )
+    def test_every_stock_adversary_conforms(self, builder):
+        adversary = builder()
+        report = check_contract(adversary)
+        assert report.adversary == adversary.name
+        assert report.slot_addressed is adversary.slot_addressed
+        assert "batched-equivalence" in report.laws
+        if adversary.slot_addressed:
+            assert {"purity", "slot-decomposability", "path-agreement"} <= set(report.laws)
+        else:
+            assert "truthful-flag" in report.laws
+
+    def test_checker_does_not_mutate_the_subject(self):
+        adversary = RandomNoiseAdversary(corruption_probability=0.5, seed=42)
+        stream_before = adversary._rng.getstate()
+        check_contract(adversary)
+        assert adversary._rng.getstate() == stream_before
+
+    def test_rejects_stateful_adversary_lying_about_slot_addressing(self):
+        class LyingAdversary(RandomNoiseAdversary):
+            """Claims the contract but draws from its sequential stream.
+
+            All three paths agree bit for bit (so batched-equivalence holds),
+            yet every evaluation advances ``self._rng`` — the purity law is
+            what must catch it.
+            """
+
+            def corrupt(self, ctx, sent):
+                if sent is None:
+                    return None
+                return sent if self._rng.random() >= 0.5 else 1 - sent
+
+            def corruption_schedule(self, ctx, symbols):
+                return [self.corrupt(None, sent) for sent in symbols]
+
+            corrupt_window = corruption_schedule
+
+        lying = LyingAdversary(corruption_probability=0.0, seed=0)
+        lying.slot_addressed = True
+        with pytest.raises(ContractViolation, match="purity"):
+            check_contract(lying)
+
+    def test_rejects_window_position_dependent_schedule(self):
+        class OffsetKeyedAdversary(NoiselessAdversary):
+            """Pure and stateless, but keyed on window offset, not round."""
+
+            def corruption_schedule(self, ctx, symbols):
+                return [
+                    (None if sent is None else 1 - sent) if offset == 0 else sent
+                    for offset, sent in enumerate(symbols)
+                ]
+
+        with pytest.raises(ContractViolation, match="slot-decomposability"):
+            check_contract(OffsetKeyedAdversary())
+
+    def test_rejects_schedule_disagreeing_with_corrupt(self):
+        class DisagreeingAdversary(NoiselessAdversary):
+            # Restore the per-slot fallback so the batch path replays the
+            # divergent ``corrupt`` (batched-equivalence holds) and only the
+            # schedule/corrupt disagreement is left to catch.
+            corrupt_window = Adversary.corrupt_window
+
+            def corrupt(self, ctx, sent):
+                return None if sent == 1 else sent
+
+        with pytest.raises(ContractViolation, match="path-agreement"):
+            check_contract(DisagreeingAdversary())
+
+    def test_rejects_untruthful_flag(self):
+        class NotReallyStatefulAdversary(NoiselessAdversary):
+            slot_addressed = False
+
+        with pytest.raises(ContractViolation, match="truthful-flag"):
+            check_contract(NotReallyStatefulAdversary())
+
+    def test_rejects_batched_divergence(self):
+        class DivergentBatchAdversary(DeletionAdversary):
+            def corrupt_window(self, ctx, symbols):
+                return list(symbols)  # skips the per-slot RNG draws
+
+        divergent = DivergentBatchAdversary(deletion_probability=0.5, seed=1)
+        with pytest.raises(ContractViolation, match="batched-equivalence"):
+            check_contract(divergent)
+
+
+class TestSlotAddressedModes:
+    """Unit behaviour of the opt-in slot-addressed adversary modes."""
+
+    def test_random_noise_rejects_budget(self):
+        with pytest.raises(ValueError, match="cross-slot"):
+            RandomNoiseAdversary(
+                corruption_probability=0.5,
+                seed=0,
+                budget=NoiseBudget(fraction=0.1),
+                slot_addressed=True,
+            )
+
+    def test_deletion_rejects_budget(self):
+        with pytest.raises(ValueError, match="cross-slot"):
+            DeletionAdversary(
+                deletion_probability=0.5,
+                seed=0,
+                budget=NoiseBudget(fraction=0.1),
+                slot_addressed=True,
+            )
+
+    def test_link_targeted_rejects_cross_slot_limits(self):
+        with pytest.raises(ValueError, match="probability-only"):
+            LinkTargetedAdversary(target=(0, 1), max_corruptions=3, seed=0, slot_addressed=True)
+        with pytest.raises(ValueError, match="probability-only"):
+            LinkTargetedAdversary(target=(0, 1), fraction=0.1, seed=0, slot_addressed=True)
+
+    def test_burst_cap_rules(self):
+        with pytest.raises(ValueError, match="must be None"):
+            BurstAdversary(start_round=0, end_round=9, max_corruptions=3, slot_addressed=True)
+        with pytest.raises(ValueError, match="only be None"):
+            BurstAdversary(start_round=0, end_round=9, max_corruptions=None)
+
+    def test_schedule_requires_the_flag(self):
+        adversary = RandomNoiseAdversary(corruption_probability=0.5, seed=0)
+        with pytest.raises(RuntimeError, match="not slot-addressed"):
+            adversary.corruption_schedule(_window_ctx(), (1, 0, 1))
+
+    def test_slot_addressed_schedule_is_grouping_independent(self):
+        adversary = RandomNoiseAdversary(
+            corruption_probability=0.5, insertion_probability=0.3, seed=13, slot_addressed=True
+        )
+        symbols = (1, 0, None, 1, None, 0, 1, 1)
+        whole = adversary.corruption_schedule(_window_ctx(base_round=100), symbols)
+        halves = adversary.corruption_schedule(
+            _window_ctx(base_round=100), symbols[:4]
+        ) + adversary.corruption_schedule(_window_ctx(base_round=104), symbols[4:])
+        reversed_slots = [
+            adversary.corruption_schedule(_window_ctx(base_round=100 + offset), (symbols[offset],))[0]
+            for offset in reversed(range(len(symbols)))
+        ][::-1]
+        assert whole == halves == reversed_slots
+
+    def test_composite_slot_addressing_propagates(self):
+        pure = CompositeAdversary(
+            components=(
+                NoiselessAdversary(),
+                RandomNoiseAdversary(corruption_probability=0.2, seed=0, slot_addressed=True),
+            )
+        )
+        assert pure.slot_addressed is True
+        poisoned = CompositeAdversary(
+            components=(
+                RandomNoiseAdversary(corruption_probability=0.2, seed=0, slot_addressed=True),
+                EchoSpoofingAdversary(target=(0, 1), fraction=0.1, seed=1),
+            )
+        )
+        assert poisoned.slot_addressed is False
+
+    def test_stateful_stock_adversaries_report_false(self):
+        stateful = [
+            RandomNoiseAdversary(corruption_probability=0.1, seed=0),
+            DeletionAdversary(deletion_probability=0.1, seed=0),
+            LinkTargetedAdversary(target=(0, 1), fraction=0.1, seed=0),
+            BurstAdversary(start_round=0, end_round=5, max_corruptions=2, seed=0),
+            EchoSpoofingAdversary(target=(0, 1), fraction=0.1, seed=0),
+            PhaseTargetedAdaptiveAdversary(fraction=0.1, seed=0),
+            RotatingLinkAdaptiveAdversary(links=((0, 1),), fraction=0.1, seed=0),
+        ]
+        for adversary in stateful:
+            assert adversary.slot_addressed is False, adversary.name
+
+    def test_oblivious_stock_adversaries_report_true_natively(self):
+        assert NoiselessAdversary().slot_addressed is True
+        assert AdditiveObliviousAdversary(pattern={(0, 0, 1): 1}).slot_addressed is True
+        assert FixingObliviousAdversary(pattern={(0, 0, 1): None}).slot_addressed is True

@@ -1,0 +1,238 @@
+"""Differential fuzzing of whole-phase round merging.
+
+The engine's ``merge_phases`` switch collapses the flag-passing, simulation
+and rewind phases into one :meth:`~repro.network.transport.NoisyNetwork.exchange_phase`
+dispatch per phase whenever the adversary honours the slot-addressed contract
+(:attr:`~repro.adversary.base.Adversary.slot_addressed`).  The switch is
+advertised as **bit-identical**: not "statistically equivalent", but the same
+``SimulationResult``, the same :class:`~repro.network.channel.ChannelStats`
+counters, the same round clock and the same adversary end state (RNG stream
+positions, budget counters) as the per-round lockstep schedule.
+
+This suite pins that claim differentially: hypothesis draws a workload
+(scheme x topology x stock adversary x seed x observability on/off), runs it
+twice — once with ``merge_phases=False`` (the per-round reference) and once
+with ``merge_phases=True`` — and requires every observable to match exactly.
+One case uses a deliberately non-slot-addressed adversary to pin the
+fallback: the switch must be silently ignored (zero merged dispatches) and
+the run trivially identical.
+
+Reproducing a failure
+---------------------
+
+Hypothesis prints the failing example and a reproduction seed on failure.
+Re-run a specific derivation deterministically with::
+
+    PYTHONPATH=src python -m pytest tests/test_phase_merge_fuzz.py \
+        --hypothesis-seed=<seed>
+
+(the ``<seed>`` is printed in the failure report), or paste the printed
+``@reproduce_failure`` decorator onto the test.  The examples budget is
+deliberately small (the suite runs two full simulations per example); crank
+``max_examples`` up locally for a deeper soak.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import NoiselessAdversary
+from repro.adversary.contract import _state_snapshot
+from repro.adversary.oblivious import AdditiveObliviousAdversary, FixingObliviousAdversary
+from repro.adversary.strategies import (
+    BurstAdversary,
+    CompositeAdversary,
+    DeletionAdversary,
+    LinkTargetedAdversary,
+    RandomNoiseAdversary,
+)
+from repro.core.engine import InteractiveCodingSimulator
+from repro.core.parameters import scheme_by_name
+from repro.network.topologies import (
+    line_topology,
+    random_connected_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.obs.context import use_obs
+from repro.obs.metrics import MetricsRegistry
+from repro.protocols.random_protocol import RandomProtocol
+from repro.utils.rng import make_rng
+
+_FUZZ = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+_SCHEMES = ("algorithm_crs", "algorithm_a", "algorithm_b")
+
+_TOPOLOGIES = {
+    "line4": lambda seed: line_topology(4),
+    "ring5": lambda seed: ring_topology(5),
+    "star5": lambda seed: star_topology(5),
+    "random5": lambda seed: random_connected_topology(5, 0.4, seed=seed),
+}
+
+
+def _oblivious_pattern(graph, seed, values, density=0.02, horizon=600):
+    """A deterministic sparse (round, link) -> value pattern over the run."""
+    rng = make_rng(seed)
+    pattern = {}
+    for round_index in range(horizon):
+        for sender, receiver in graph.directed_edges():
+            if rng.random() < density:
+                pattern[(round_index, sender, receiver)] = rng.choice(values)
+    return pattern
+
+
+#: name -> builder(graph, seed) for every adversary family under fuzz.  All
+#: but the last are slot-addressed; "stateful-fallback" pins that the switch
+#: is a no-op for adversaries that truthfully report slot_addressed=False.
+_ADVERSARIES = {
+    "noiseless": lambda graph, seed: NoiselessAdversary(),
+    "additive": lambda graph, seed: AdditiveObliviousAdversary(
+        pattern=_oblivious_pattern(graph, seed, (1, 2))
+    ),
+    "fixing": lambda graph, seed: FixingObliviousAdversary(
+        pattern=_oblivious_pattern(graph, seed, (0, 1, None))
+    ),
+    "random-noise-slot": lambda graph, seed: RandomNoiseAdversary(
+        corruption_probability=0.01,
+        insertion_probability=0.002,
+        seed=seed,
+        slot_addressed=True,
+    ),
+    "deletion-slot": lambda graph, seed: DeletionAdversary(
+        deletion_probability=0.01, seed=seed, slot_addressed=True
+    ),
+    "link-targeted-slot": lambda graph, seed: LinkTargetedAdversary(
+        target=graph.edges[seed % len(graph.edges)],
+        corruption_probability=0.05,
+        max_corruptions=None,
+        seed=seed,
+        slot_addressed=True,
+    ),
+    "burst-slot": lambda graph, seed: BurstAdversary(
+        start_round=5 + seed % 20, end_round=40 + seed % 60, max_corruptions=None, seed=seed,
+        slot_addressed=True,
+    ),
+    "composite-slot": lambda graph, seed: CompositeAdversary(
+        components=(
+            BurstAdversary(
+                start_round=10, end_round=30, max_corruptions=None, seed=seed, slot_addressed=True
+            ),
+            RandomNoiseAdversary(
+                corruption_probability=0.005,
+                insertion_probability=0.001,
+                seed=seed + 1,
+                slot_addressed=True,
+            ),
+        )
+    ),
+    "stateful-fallback": lambda graph, seed: RandomNoiseAdversary(
+        corruption_probability=0.01, insertion_probability=0.002, seed=seed
+    ),
+}
+
+
+def _workload(topology_name, seed):
+    graph = _TOPOLOGIES[topology_name](seed)
+    inputs = {party: (seed * 31 + party * 7) % 1024 for party in graph.nodes}
+    protocol = RandomProtocol(graph, inputs, num_rounds=8, density=0.5, seed=seed + 1)
+    return graph, protocol
+
+
+def _run(scheme_name, topology_name, adversary_name, seed, merge, observed):
+    """One full simulation; returns (simulator, result)."""
+    graph, protocol = _workload(topology_name, seed)
+    adversary = _ADVERSARIES[adversary_name](graph, seed)
+    simulator = InteractiveCodingSimulator(
+        protocol, scheme=scheme_by_name(scheme_name), adversary=adversary, seed=seed
+    )
+    simulator.merge_phases = merge
+    if observed:
+        with use_obs(metrics=MetricsRegistry()):
+            result = simulator.run()
+    else:
+        result = simulator.run()
+    return simulator, result
+
+
+def _result_fingerprint(result):
+    return (
+        result.success,
+        result.outputs,
+        result.reference_outputs,
+        result.metrics,
+        result.channel_summary,
+        result.iterations_run,
+        result.iterations_budget,
+        result.num_real_chunks,
+        result.final_link_agreement,
+        result.randomness_exchange_agreed,
+    )
+
+
+def _assert_bit_identical(reference_run, merged_run):
+    reference_sim, reference = reference_run
+    merged_sim, merged = merged_run
+    assert _result_fingerprint(merged) == _result_fingerprint(reference)
+    assert vars(merged_sim.network.stats) == vars(reference_sim.network.stats)
+    assert merged_sim.network.current_round == reference_sim.network.current_round
+    # RNG stream positions and budget counters: the merged schedule must
+    # consume the adversary's state exactly like lockstep did.
+    assert _state_snapshot(merged_sim.adversary) == _state_snapshot(reference_sim.adversary)
+    assert reference_sim.network.merged_dispatches == 0
+
+
+class TestPhaseMergeDifferential:
+    @_FUZZ
+    @given(
+        scheme_name=st.sampled_from(_SCHEMES),
+        topology_name=st.sampled_from(sorted(_TOPOLOGIES)),
+        adversary_name=st.sampled_from(sorted(_ADVERSARIES)),
+        seed=st.integers(0, 10_000),
+        observed=st.booleans(),
+    )
+    def test_merged_schedule_is_bit_identical(
+        self, scheme_name, topology_name, adversary_name, seed, observed
+    ):
+        reference_run = _run(scheme_name, topology_name, adversary_name, seed, False, observed)
+        merged_run = _run(scheme_name, topology_name, adversary_name, seed, True, observed)
+        _assert_bit_identical(reference_run, merged_run)
+        merged_sim, _ = merged_run
+        if adversary_name == "stateful-fallback":
+            # slot_addressed is truthfully False: the switch must be ignored.
+            assert not merged_sim.adversary.slot_addressed
+            assert merged_sim.network.merged_dispatches == 0
+        else:
+            assert merged_sim.adversary.slot_addressed
+            assert merged_sim.network.merged_dispatches > 0
+
+    @_FUZZ
+    @given(
+        adversary_name=st.sampled_from(sorted(set(_ADVERSARIES) - {"stateful-fallback"})),
+        seed=st.integers(0, 10_000),
+    )
+    def test_merged_schedule_is_obs_invariant(self, adversary_name, seed):
+        """Observability must not perturb the merged schedule (and vice versa)."""
+        dark_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, False)
+        observed_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, True)
+        assert _result_fingerprint(observed_run[1]) == _result_fingerprint(dark_run[1])
+        assert vars(observed_run[0].network.stats) == vars(dark_run[0].network.stats)
+        assert observed_run[0].network.merged_dispatches == dark_run[0].network.merged_dispatches
+
+
+class TestMergedDispatchObservability:
+    def test_merged_dispatch_counter_is_flushed(self):
+        registry = MetricsRegistry()
+        with use_obs(metrics=registry):
+            simulator, _ = _run("algorithm_crs", "line4", "noiseless", 3, True, False)
+        counters = registry.snapshot()["counters"]
+        assert counters["transport.merged_dispatches"] == simulator.network.merged_dispatches
+        assert counters["transport.merged_dispatches"] > 0
+
+    def test_reference_schedule_never_merges(self):
+        registry = MetricsRegistry()
+        with use_obs(metrics=registry):
+            _run("algorithm_crs", "line4", "noiseless", 3, False, False)
+        counters = registry.snapshot()["counters"]
+        assert "transport.merged_dispatches" not in counters
