@@ -23,6 +23,11 @@ per-round reference schedule.
 after the frame table, prints the metrics-registry snapshot plus per-name
 span totals — so a profile's "where does time go?" answer can be
 cross-checked against what the instrumentation itself reports.
+
+``--forensics`` runs the trial under an ambient flight recorder and prints
+the per-kind protocol event counts plus the trial's forensic verdict — the
+end-to-end exercise of the recorder path (and its profile cost, visible in
+the frame table).
 """
 
 from __future__ import annotations
@@ -47,7 +52,8 @@ from repro.core.parameters import (  # noqa: E402
 )
 from repro.experiments.factories import RandomNoiseFactory  # noqa: E402
 from repro.experiments.workloads import gossip_workload  # noqa: E402
-from repro.obs import MetricsRegistry, Tracer, format_metrics_rows, use_obs  # noqa: E402
+from repro.analysis.forensics import classify_failure, explain_dump  # noqa: E402
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer, format_metrics_rows, use_obs  # noqa: E402
 
 SCHEMES = {
     "crs": crs_oblivious_scheme,
@@ -92,6 +98,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="run under an observability scope and print counters + span totals",
     )
+    parser.add_argument(
+        "--forensics",
+        action="store_true",
+        help="run under a flight recorder and print event counts + the forensic verdict",
+    )
     return parser.parse_args(argv)
 
 
@@ -121,6 +132,20 @@ def _print_obs_report(registry, tracer) -> None:
         print(f"  phase/iteration coverage: {coverage:.1%}")
 
 
+def _print_forensics_report(dump: dict) -> None:
+    print("flight recorder:")
+    summary = explain_dump(dump)
+    counts = summary["event_counts"]
+    print(f"  events recorded: {summary['events_recorded']} (kept {summary['events_kept']})")
+    for kind in sorted(counts):
+        print(f"  {kind:<20} {counts[kind]}")
+    trial = dump.get("trial") or {}
+    if trial.get("success"):
+        print("  verdict: success (full timeline not kept)")
+    else:
+        print(f"  verdict: FAILED — {classify_failure(dump)}")
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     workload = gossip_workload(
@@ -132,7 +157,12 @@ def main(argv=None) -> int:
 
     registry = MetricsRegistry() if args.obs else None
     tracer = Tracer(sample_every=1) if args.obs else None
-    scope = use_obs(metrics=registry, tracer=tracer) if args.obs else nullcontext()
+    recorder = FlightRecorder() if args.forensics else None
+    scope = (
+        use_obs(metrics=registry, tracer=tracer, recorder=recorder)
+        if (args.obs or args.forensics)
+        else nullcontext()
+    )
 
     # The engine binds the ambient obs context at construction time, so the
     # scope wraps simulator creation, not just the profiled run.
@@ -143,10 +173,22 @@ def main(argv=None) -> int:
         simulator.network.batched = not args.per_slot
         simulator.merge_phases = not args.no_merge
 
+        if recorder is not None:
+            recorder.begin_trial(seed=args.seed, scheme=scheme.name)
         profile = cProfile.Profile()
         profile.enable()
         result = simulator.run()
         profile.disable()
+        dump = None
+        if recorder is not None:
+            dump = recorder.finish_trial(
+                success=result.success,
+                iterations_run=result.iterations_run,
+                iterations_budget=result.metrics.iterations_budget,
+                noise_fraction=result.metrics.noise_fraction,
+                corruptions=result.metrics.corruptions,
+                tolerance=scheme.nominal_noise_fraction(workload.graph),
+            )
 
     path = "per-slot" if args.per_slot else "batched"
     print(
@@ -164,6 +206,8 @@ def main(argv=None) -> int:
     print(buffer.getvalue())
     if args.obs:
         _print_obs_report(registry, tracer)
+    if args.forensics and dump is not None:
+        _print_forensics_report(dump)
     return 0
 
 

@@ -1,0 +1,256 @@
+"""Failure forensics: explain failed trials in the paper's own vocabulary.
+
+The flight recorder (:mod:`repro.obs.recorder`) captures *what happened*
+during a trial — corruptions per (round, link), hash-collision detections,
+meeting-point transitions, rewinds, the Φ trajectory.  This module turns
+those dumps into *why it failed*: every failed trial is classified into one
+of four taxonomy causes, each naming a mechanism of the GHKRW analysis:
+
+* ``hash-collision`` — the meeting-points digest matched while the
+  transcripts diverged; the parties believed a lie.  The paper accepts this
+  with probability bounded by the hash output length; when it happens, the
+  simulation can silently commit to a wrong transcript.
+* ``noise-budget-exhaustion`` — the adversary spent more than the scheme's
+  nominal tolerance; the iteration budget ran out with the measured noise
+  fraction at or above tolerance.  Failing here is *expected*: the theorem's
+  premise was violated.
+* ``rewind-exhaustion`` — noise stayed within tolerance, yet the iteration
+  budget still ran out: corruptions were placed to maximise wasted progress
+  (rewinds, meeting-point resets) rather than raw volume.
+* ``decode-failure`` — the simulation *finished* its budget... and still
+  produced the wrong output (no collision on record): the failure lives in
+  the output-decision layer, not the interactive phase.
+
+The taxonomy is **total** over failing trials: classification falls through
+concrete evidence (events, then budget arithmetic) and ends in a definite
+bucket, never "unknown".
+
+Everything here consumes the JSON-pure dump layout produced by
+:meth:`~repro.obs.recorder.FlightRecorder.finish_trial` — loaded straight
+from a stored run's ``forensics`` payload or from a live recorder drain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Taxonomy causes, in classification priority order.
+TAXONOMY = (
+    "hash-collision",
+    "noise-budget-exhaustion",
+    "rewind-exhaustion",
+    "decode-failure",
+)
+
+
+def classify_failure(dump: Dict[str, Any]) -> str:
+    """Assign one taxonomy cause to a failed trial's dump.
+
+    Priority: recorded hash-collision events are conclusive (the protocol was
+    actively deceived); otherwise budget arithmetic splits exhausted trials
+    into over-tolerance (``noise-budget-exhaustion``) and within-tolerance
+    (``rewind-exhaustion``); a trial that failed *without* exhausting its
+    budget decoded wrongly after a clean-looking run (``decode-failure``).
+    """
+    counts = dump.get("event_counts") or {}
+    if counts.get("hash_collision", 0) > 0:
+        return "hash-collision"
+    trial = dump.get("trial") or {}
+    iterations_run = trial.get("iterations_run")
+    iterations_budget = trial.get("iterations_budget")
+    exhausted = (
+        iterations_run is not None
+        and iterations_budget is not None
+        and iterations_run >= iterations_budget
+    )
+    if exhausted:
+        noise = trial.get("noise_fraction")
+        tolerance = trial.get("tolerance")
+        if noise is not None and tolerance is not None and noise >= tolerance:
+            return "noise-budget-exhaustion"
+        return "rewind-exhaustion"
+    return "decode-failure"
+
+
+def failed_dumps(dumps: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The failing trials of a dump list, in stored order."""
+    return [dump for dump in dumps if not (dump.get("trial") or {}).get("success", True)]
+
+
+def corruption_heatmap(
+    dumps: Iterable[Dict[str, Any]],
+    round_bucket: int = 1,
+) -> Dict[str, Dict[int, int]]:
+    """Corruption counts per link × round(-bucket) across the given dumps.
+
+    Returns ``{link: {bucket_start_round: count}}``.  ``round_bucket`` groups
+    adjacent rounds (e.g. 64) so long trials stay readable; 1 keeps exact
+    rounds.  Only failing trials carry events, so pass the dumps you mean.
+    """
+    if round_bucket < 1:
+        raise ValueError("round_bucket must be >= 1")
+    heatmap: Dict[str, Dict[int, int]] = {}
+    for dump in dumps:
+        for event in dump.get("events") or ():
+            if event.get("kind") != "corruption":
+                continue
+            link = str(event.get("link"))
+            bucket = (int(event.get("round", 0)) // round_bucket) * round_bucket
+            row = heatmap.setdefault(link, {})
+            row[bucket] = row.get(bucket, 0) + 1
+    return heatmap
+
+
+def phi_trajectory(dump: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The per-iteration Φ snapshots of one trial's dump, in iteration order."""
+    events = [event for event in dump.get("events") or () if event.get("kind") == "potential"]
+    return sorted(events, key=lambda event: event.get("iteration", 0))
+
+
+def rewind_depth_trajectory(dump: Dict[str, Any]) -> List[Tuple[int, int]]:
+    """``(iteration, rewinds_that_iteration)`` pairs for one trial's dump."""
+    per_iteration: Counter = Counter()
+    for event in dump.get("events") or ():
+        if event.get("kind") == "rewind":
+            per_iteration[int(event.get("iteration", 0))] += 1
+    return sorted(per_iteration.items())
+
+
+def anatomy_rows(dumps: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The failure-anatomy table: one row per taxonomy cause.
+
+    Joins the Table-1-style reporting shape (plain dicts, renderable with
+    :func:`repro.experiments.harness.format_table`).
+    """
+    failures = failed_dumps(dumps)
+    by_cause: Dict[str, List[Dict[str, Any]]] = {cause: [] for cause in TAXONOMY}
+    for dump in failures:
+        by_cause[classify_failure(dump)].append(dump)
+    rows: List[Dict[str, Any]] = []
+    total_failed = len(failures)
+    for cause in TAXONOMY:
+        members = by_cause[cause]
+        if not members:
+            continue
+        trials = [dump.get("trial") or {} for dump in members]
+        counts = [dump.get("event_counts") or {} for dump in members]
+        rows.append(
+            {
+                "cause": cause,
+                "trials": len(members),
+                "share": len(members) / total_failed if total_failed else 0.0,
+                "mean_corruptions": _mean([trial.get("corruptions", 0) for trial in trials]),
+                "mean_noise_fraction": _mean(
+                    [trial.get("noise_fraction", 0.0) for trial in trials]
+                ),
+                "mean_rewinds": _mean([count.get("rewind", 0) for count in counts]),
+                "mean_iterations": _mean([trial.get("iterations_run", 0) for trial in trials]),
+                "seeds": ",".join(str(trial.get("seed")) for trial in trials[:8])
+                + ("…" if len(trials) > 8 else ""),
+            }
+        )
+    return rows
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_heatmap(
+    heatmap: Dict[str, Dict[int, int]],
+    max_columns: int = 16,
+) -> str:
+    """Render a link × round-bucket corruption heatmap as fixed-width text.
+
+    Buckets beyond ``max_columns`` are re-bucketed coarser until they fit, so
+    a long trial still renders on one screen.
+    """
+    if not heatmap:
+        return "(no corruption events recorded)"
+    rounds = sorted({bucket for row in heatmap.values() for bucket in row})
+    width = 1
+    if len(rounds) > max_columns:
+        span = rounds[-1] - rounds[0] + 1
+        width = -(-span // max_columns)  # ceil
+        coarse: Dict[str, Dict[int, int]] = {}
+        for link, row in heatmap.items():
+            out = coarse.setdefault(link, {})
+            for bucket, count in row.items():
+                start = rounds[0] + ((bucket - rounds[0]) // width) * width
+                out[start] = out.get(start, 0) + count
+        heatmap = coarse
+        rounds = sorted({bucket for row in heatmap.values() for bucket in row})
+    header_cells = [
+        (f"r{start}" if width == 1 else f"r{start}-{start + width - 1}") for start in rounds
+    ]
+    link_width = max(len("link"), *(len(link) for link in heatmap))
+    cell_widths = [max(len(cell), 3) for cell in header_cells]
+    lines = [
+        "link".ljust(link_width)
+        + "  "
+        + "  ".join(cell.rjust(w) for cell, w in zip(header_cells, cell_widths))
+    ]
+    for link in sorted(heatmap):
+        row = heatmap[link]
+        cells = [
+            (str(row[start]) if start in row else "·").rjust(w)
+            for start, w in zip(rounds, cell_widths)
+        ]
+        lines.append(link.ljust(link_width) + "  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def render_trajectory(
+    points: Sequence[Tuple[int, float]],
+    label: str,
+    width: int = 40,
+) -> str:
+    """One-line-per-point bar rendering of an (iteration, value) trajectory."""
+    if not points:
+        return f"(no {label} data)"
+    peak = max(abs(value) for _, value in points) or 1.0
+    lines = []
+    for iteration, value in points:
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        lines.append(f"  iter {iteration:>3}  {value:>12.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_event(event: Dict[str, Any]) -> str:
+    """One timeline line for a recorded event (``repro runs flight``)."""
+    kind = event.get("kind", "?")
+    fields = {key: value for key, value in event.items() if key != "kind"}
+    parts = []
+    for key in ("iteration", "round", "link", "phase"):  # anchor fields first
+        if key in fields:
+            parts.append(f"{key}={fields.pop(key)}")
+    parts.extend(f"{key}={fields[key]}" for key in sorted(fields))
+    return f"[{kind}] " + " ".join(parts)
+
+
+def explain_dump(dump: Dict[str, Any]) -> Dict[str, Any]:
+    """Everything ``repro runs flight`` needs about one trial: the verdict
+    plus the trajectories, as one JSON-pure dict."""
+    trial = dump.get("trial") or {}
+    verdict: Optional[str] = None
+    if not trial.get("success", True):
+        verdict = classify_failure(dump)
+    return {
+        "trial": dict(trial),
+        "cause": verdict,
+        "event_counts": dict(dump.get("event_counts") or {}),
+        "events_recorded": dump.get("events_recorded", 0),
+        "events_kept": dump.get("events_kept", 0),
+        "phi": [
+            {"iteration": event.get("iteration"), "phi": event.get("phi")}
+            for event in phi_trajectory(dump)
+        ],
+        "rewind_depth": [
+            {"iteration": iteration, "rewinds": count}
+            for iteration, count in rewind_depth_trajectory(dump)
+        ],
+    }

@@ -12,8 +12,9 @@ writing any Python:
   ``diff`` two runs cell by cell (non-zero exit on regression, so CI can gate
   on it; ``--kind metrics`` gates on obs counters instead of outcomes),
   ``trace`` / ``metrics`` render observability records captured under
-  ``--trace`` / ``--obs``, ``merge`` trial sets of the same cell, ``gc`` old
-  runs,
+  ``--trace`` / ``--obs``, ``explain`` / ``flight`` read the flight-recorder
+  dumps captured under ``--forensics`` (failure taxonomy / one trial's event
+  timeline), ``merge`` trial sets of the same cell, ``gc`` old runs,
 * ``worker``        — ``worker serve`` runs a distributed-execution worker
   daemon (see ``--backend distributed`` below),
 * ``cache``         — trial-cache hygiene: ``cache compact`` rewrites the
@@ -43,6 +44,9 @@ report via ``--output``.  Experiment commands share the runtime flags:
   counters and store them with each trial set,
 * ``--trace``       — record timing spans (implies ``--obs``); with
   ``--store-dir`` each cell persists one trace record,
+* ``--forensics``   — flight-record protocol events per trial (corruptions,
+  hash collisions, meeting points, rewinds, Φ); with ``--store-dir`` the
+  dumps persist for ``repro runs explain`` / ``repro runs flight``,
 * ``--trace-sample N`` / ``--log-level`` / ``--log-json`` — trace sampling and
   structured-log output controls.
 
@@ -60,6 +64,18 @@ from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence
 
 from repro.adversary.strategies import RandomNoiseAdversary
+from repro.analysis.forensics import (
+    anatomy_rows,
+    classify_failure,
+    corruption_heatmap,
+    explain_dump,
+    failed_dumps,
+    phi_trajectory,
+    render_event,
+    render_heatmap,
+    render_trajectory,
+    rewind_depth_trajectory,
+)
 from repro.core.engine import simulate
 from repro.core.parameters import SCHEME_PRESETS, scheme_by_name
 from repro.experiments.ablations import (
@@ -75,6 +91,7 @@ from repro.experiments.table1 import TABLE1_COLUMNS, build_table1
 from repro.experiments.theorem_validation import rate_vs_protocol_size
 from repro.experiments.workloads import WORKLOAD_BUILDERS, gossip_workload
 from repro.obs import (
+    FlightRecorder,
     MetricsRegistry,
     Tracer,
     configure_logging,
@@ -146,6 +163,16 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
              "store for 'repro runs trace'",
     )
     parser.add_argument(
+        "--forensics", action="store_true",
+        help="flight-record protocol events per trial (corruptions, hash "
+             "collisions, meeting points, rewinds, Φ); dumps persist with "
+             "each trial set for 'repro runs explain' / 'repro runs flight'",
+    )
+    parser.add_argument(
+        "--forensics-capacity", type=int, default=4096, metavar="N",
+        help="flight-recorder ring size in events per trial (default 4096)",
+    )
+    parser.add_argument(
         "--trace-sample", type=int, default=1, metavar="N",
         help="trace every N-th trial (default 1 = every trial)",
     )
@@ -160,16 +187,29 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _obs_scope(args: argparse.Namespace):
-    """The observability context the ``--obs``/``--trace`` flags ask for — a
-    no-op context manager for commands without the flags (or with them off)."""
+    """The observability context the ``--obs``/``--trace``/``--forensics``
+    flags ask for — a no-op context manager for commands without the flags
+    (or with them off)."""
     tracing = bool(getattr(args, "trace", False))
-    if not tracing and not getattr(args, "obs", False):
+    observing = tracing or bool(getattr(args, "obs", False))
+    forensics = bool(getattr(args, "forensics", False))
+    if not observing and not forensics:
         return nullcontext()
     sample = getattr(args, "trace_sample", 1) or 1
     if sample < 1:
         raise _fail("--trace-sample must be a positive integer")
     tracer = Tracer(sample_every=int(sample)) if tracing else None
-    return use_obs(metrics=MetricsRegistry(), tracer=tracer)
+    recorder = None
+    if forensics:
+        capacity = getattr(args, "forensics_capacity", 4096) or 4096
+        if capacity < 1:
+            raise _fail("--forensics-capacity must be a positive integer")
+        recorder = FlightRecorder(capacity=int(capacity))
+    return use_obs(
+        metrics=MetricsRegistry() if observing else None,
+        tracer=tracer,
+        recorder=recorder,
+    )
 
 
 def _runtime_overrides(args: argparse.Namespace) -> Dict[str, object]:
@@ -558,6 +598,133 @@ def _cmd_runs_metrics(args: argparse.Namespace) -> None:
     print(format_table(list(rows), ["metric", "value"]) if rows else "(no matching metrics)")
 
 
+def _load_forensics(store: RunStore, ref: str) -> Dict[str, object]:
+    """Load a trial_set run that carries flight-recorder dumps (or fail
+    with the flag that would have recorded them)."""
+    payload = _load_run(store, ref, kind="trial_set")
+    if payload.get("kind") != "trial_set":
+        raise _fail(
+            f"run {payload.get('run_id', ref)!r} is a "
+            f"{payload.get('kind')!r}; forensics live on trial_set runs"
+        )
+    dumps = payload.get("forensics")
+    if not isinstance(dumps, list) or not dumps:
+        raise _fail(
+            f"run {payload.get('run_id', ref)!r} carries no flight-recorder "
+            "dumps; re-run the experiment with --forensics to record them"
+        )
+    return payload
+
+
+#: At most this many failed trials get their trajectories rendered inline by
+#: ``runs explain`` (the rest remain one ``runs flight`` away).
+_EXPLAIN_TRAJECTORY_LIMIT = 3
+
+
+def _cmd_runs_explain(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    payload = _load_forensics(store, args.run_id)
+    dumps = list(payload["forensics"])
+    failures = failed_dumps(dumps)
+    if args.json:
+        print(json.dumps(
+            {
+                "run_id": payload.get("run_id"),
+                "label": payload.get("label"),
+                "trials": len(dumps),
+                "failed": len(failures),
+                "anatomy": anatomy_rows(dumps),
+                "heatmap": {
+                    link: {str(bucket): count for bucket, count in row.items()}
+                    for link, row in sorted(
+                        corruption_heatmap(failures, round_bucket=args.round_bucket).items()
+                    )
+                },
+                "verdicts": [explain_dump(dump) for dump in failures],
+            },
+            indent=2, sort_keys=True, default=str,
+        ))
+        return
+    print(f"run {payload['run_id']}: {payload.get('label')} — "
+          f"{len(dumps)} trial(s), {len(failures)} failed")
+    if not failures:
+        print("\nevery trial succeeded — nothing to explain")
+        return
+    print()
+    print("failure anatomy (why trials failed, in the paper's vocabulary):")
+    print(format_table(
+        anatomy_rows(dumps),
+        ["cause", "trials", "share", "mean_corruptions", "mean_noise_fraction",
+         "mean_rewinds", "mean_iterations", "seeds"],
+    ))
+    print()
+    print("corruption heatmap (failed trials, link × round):")
+    print(render_heatmap(corruption_heatmap(failures, round_bucket=args.round_bucket)))
+    for dump in failures[:_EXPLAIN_TRAJECTORY_LIMIT]:
+        trial = dump.get("trial") or {}
+        print()
+        print(f"trial seed={trial.get('seed')} — cause: {classify_failure(dump)}")
+        phi_points = [
+            (event.get("iteration", 0), float(event.get("phi", 0.0)))
+            for event in phi_trajectory(dump)
+        ]
+        print("Φ trajectory:")
+        print(render_trajectory(phi_points, "potential"))
+        rewind_points = [
+            (iteration, float(count))
+            for iteration, count in rewind_depth_trajectory(dump)
+        ]
+        print("rewind activity:")
+        print(render_trajectory(rewind_points, "rewind"))
+    if len(failures) > _EXPLAIN_TRAJECTORY_LIMIT:
+        print()
+        print(f"({len(failures) - _EXPLAIN_TRAJECTORY_LIMIT} more failed trial(s) — "
+              f"inspect each with 'repro runs flight {payload['run_id']} <seed>')")
+
+
+def _cmd_runs_flight(args: argparse.Namespace) -> None:
+    store = RunStore(args.store_dir)
+    payload = _load_forensics(store, args.run_id)
+    dumps = list(payload["forensics"])
+    match = next(
+        (dump for dump in dumps if (dump.get("trial") or {}).get("seed") == args.seed),
+        None,
+    )
+    if match is None:
+        seeds = ", ".join(str((dump.get("trial") or {}).get("seed")) for dump in dumps)
+        raise _fail(
+            f"run {payload['run_id']} has no trial with seed {args.seed} "
+            f"(recorded seeds: {seeds})"
+        )
+    if args.json:
+        print(json.dumps(
+            dict(explain_dump(match), events=list(match.get("events") or ())),
+            indent=2, sort_keys=True, default=str,
+        ))
+        return
+    trial = match.get("trial") or {}
+    print(f"run {payload['run_id']}: trial seed={args.seed} "
+          f"({'success' if trial.get('success') else 'FAILED'})")
+    print("trial: " + json.dumps(trial, sort_keys=True, default=str))
+    if not trial.get("success", True):
+        print(f"cause: {classify_failure(match)}")
+    counts = match.get("event_counts") or {}
+    kept = match.get("events_kept", 0)
+    recorded = match.get("events_recorded", 0)
+    print(f"events: {recorded} recorded, {kept} kept"
+          + (f" (ring overflowed, oldest {recorded - kept} dropped)" if recorded > kept else ""))
+    if counts:
+        print("counts: " + ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts)))
+    events = list(match.get("events") or ())
+    if not events:
+        print("\n(successful trial: only the event-count summary is kept — "
+              "failing trials keep the full timeline)")
+        return
+    print()
+    for event in events:
+        print(render_event(event))
+
+
 def _cmd_runs_merge(args: argparse.Namespace) -> None:
     store = RunStore(args.store_dir)
     refs: List[str] = []
@@ -758,6 +925,29 @@ def build_parser() -> argparse.ArgumentParser:
     runs_metrics.add_argument("--json", action="store_true",
                               help="dump the metrics map as JSON")
     runs_metrics.set_defaults(func=_cmd_runs_metrics)
+
+    runs_explain = runs_sub.add_parser(
+        "explain", help="classify every failed trial of a run (--forensics) "
+                        "into the failure taxonomy, with corruption heatmap "
+                        "and Φ/rewind trajectories"
+    )
+    runs_explain.add_argument("run_id", help="trial_set run id, or latest / latest~N")
+    runs_explain.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_explain.add_argument("--round-bucket", type=int, default=1, metavar="N",
+                              help="group the heatmap's rounds into buckets of N (default 1)")
+    runs_explain.add_argument("--json", action="store_true",
+                              help="dump the full forensic analysis as JSON")
+    runs_explain.set_defaults(func=_cmd_runs_explain)
+
+    runs_flight = runs_sub.add_parser(
+        "flight", help="print one trial's flight-recorder event timeline (--forensics)"
+    )
+    runs_flight.add_argument("run_id", help="trial_set run id, or latest / latest~N")
+    runs_flight.add_argument("seed", type=int, help="the trial's seed (shown by 'runs explain')")
+    runs_flight.add_argument("--store-dir", default=DEFAULT_STORE_DIR)
+    runs_flight.add_argument("--json", action="store_true",
+                             help="dump the trial's forensic record as JSON")
+    runs_flight.set_defaults(func=_cmd_runs_flight)
 
     runs_diff = runs_sub.add_parser(
         "diff", help="compare two runs cell by cell; exits 1 on regression"

@@ -54,7 +54,7 @@ from repro.network.channel import Symbol
 from repro.network.graph import Graph, edge_key
 from repro.network.spanning_tree import SpanningTree
 from repro.network.transport import NoisyNetwork
-from repro.obs import Tracer, get_obs
+from repro.obs import Tracer, get_obs, link_label
 from repro.protocols.base import PartyLogic, Protocol
 from repro.utils.bitstring import symbol_to_bit
 from repro.utils.rng import fork, fork_seed
@@ -160,6 +160,7 @@ class InteractiveCodingSimulator:
 
         trace = PotentialTrace() if self.scheme.trace_potential else None
         tracer = self._obs.tracer
+        recorder = self._obs.recorder
         phase_rounds: Optional[Dict[str, int]] = {} if self._obs.metrics is not None else None
         iterations_run = 0
         for iteration in range(self.iterations_budget):
@@ -173,10 +174,16 @@ class InteractiveCodingSimulator:
                     self._rewind_phase(iteration)
             else:
                 self._run_iteration_observed(iteration, tracer, phase_rounds)
-            if trace is not None:
-                trace.record(
-                    compute_snapshot(self.graph, self._all_transcripts(), iteration, self.scale_k)
+            if trace is not None or recorder is not None:
+                snapshot = compute_snapshot(
+                    self.graph, self._all_transcripts(), iteration, self.scale_k
                 )
+                if trace is not None:
+                    trace.record(snapshot)
+                if recorder is not None:
+                    # Ground-truth Φ trajectory (reporting only, like the
+                    # potential trace itself: the parties never see it).
+                    recorder.emit("potential", **snapshot.as_dict())
             if self.scheme.early_stop and self._simulation_complete():
                 break
 
@@ -306,6 +313,7 @@ class InteractiveCodingSimulator:
     def _initialize_state(self) -> None:
         """InitializeState(): transcripts, meeting-points state and hash seeds."""
         seed_sources = self._setup_seed_sources()
+        recorder = self._obs.recorder
         self.runtimes = {}
         for party in self.graph.nodes:
             transcripts = {v: LinkTranscript(party, v) for v in self.graph.neighbors(party)}
@@ -315,6 +323,8 @@ class InteractiveCodingSimulator:
                     seed_source=seed_sources[(party, v)],
                     hash_input_mode=self.scheme.hash_input_mode,
                     fast_hashing=self.fast_hashing,
+                    recorder=recorder,
+                    link=link_label(party, v),
                 )
                 for v in self.graph.neighbors(party)
             }
@@ -375,6 +385,15 @@ class InteractiveCodingSimulator:
                     other = self.runtimes[neighbor].transcripts[runtime.party]
                     if not transcript.matches_prefix(other, max(len(transcript), len(other))):
                         self._counters["hash_collisions"] += 1
+                        recorder = self._obs.recorder
+                        if recorder is not None:
+                            recorder.emit(
+                                "hash_collision",
+                                iteration=iteration,
+                                link=link_label(runtime.party, neighbor),
+                                transcript_length=len(transcript),
+                                other_length=len(other),
+                            )
 
     # -------------------------------------------------- status flags (lines 6-13) --
 
@@ -728,6 +747,7 @@ class InteractiveCodingSimulator:
         }
         rounds = self.scheme.rewind_round_count(self.graph)
         sparse = self.batch_rounds
+        recorder = self._obs.recorder
         for round_index in range(rounds):
             messages: Dict[Tuple[int, int], List[int]] = {}
             for runtime in self.runtimes.values():
@@ -743,6 +763,14 @@ class InteractiveCodingSimulator:
                         runtime.transcripts[neighbor].truncate_last(1)
                         already[party][neighbor] = True
                         self._counters["rewinds_sent"] += 1
+                        if recorder is not None:
+                            recorder.emit(
+                                "rewind",
+                                iteration=iteration,
+                                link=link_label(party, neighbor),
+                                role="sender",
+                                depth=len(runtime.transcripts[neighbor]),
+                            )
             if not messages and not self.adversary.may_insert:
                 if self.batch_rounds:
                     # Quiescent tail: with nothing sent and nothing insertable,
@@ -771,6 +799,14 @@ class InteractiveCodingSimulator:
                         continue
                     runtime.transcripts[neighbor].truncate_last(1)
                     already[party][neighbor] = True
+                    if recorder is not None:
+                        recorder.emit(
+                            "rewind",
+                            iteration=iteration,
+                            link=link_label(party, neighbor),
+                            role="receiver",
+                            depth=len(runtime.transcripts[neighbor]),
+                        )
 
     def _rewind_phase_merged(self, iteration: int) -> None:
         """Phase (iv) under the slot-addressed contract: one merged dispatch.
@@ -789,6 +825,7 @@ class InteractiveCodingSimulator:
         }
         rounds = self.scheme.rewind_round_count(self.graph)
         may_insert = self.adversary.may_insert
+        recorder = self._obs.recorder
         phase = self.network.exchange_phase(rounds, "rewind", iteration)
         for round_index in range(rounds):
             sent_any = False
@@ -806,6 +843,14 @@ class InteractiveCodingSimulator:
                         already[party][neighbor] = True
                         self._counters["rewinds_sent"] += 1
                         sent_any = True
+                        if recorder is not None:
+                            recorder.emit(
+                                "rewind",
+                                iteration=iteration,
+                                link=link_label(party, neighbor),
+                                role="sender",
+                                depth=len(runtime.transcripts[neighbor]),
+                            )
             if not sent_any and not may_insert:
                 break
             for runtime in self.runtimes.values():
@@ -819,6 +864,14 @@ class InteractiveCodingSimulator:
                         continue
                     runtime.transcripts[neighbor].truncate_last(1)
                     already[party][neighbor] = True
+                    if recorder is not None:
+                        recorder.emit(
+                            "rewind",
+                            iteration=iteration,
+                            link=link_label(party, neighbor),
+                            role="receiver",
+                            depth=len(runtime.transcripts[neighbor]),
+                        )
         phase.commit()
 
     # --------------------------------------------------------- bookkeeping --

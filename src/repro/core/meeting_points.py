@@ -107,6 +107,15 @@ class MeetingPointsSession:
     fast_builds: int = 0
     reference_builds: int = 0
 
+    #: Optional flight recorder (``repro.obs.recorder``) plus the directed
+    #: link this session guards, attached by the engine when forensics are
+    #: on.  The session emits ``meeting_point`` transition events — search
+    #: recoveries, divergence onsets, resets, votes, truncations — and never
+    #: reads the recorder, so decisions are bit-identical with it attached
+    #: or not.
+    recorder: Optional[object] = field(default=None, repr=False, compare=False)
+    link: str = field(default="", repr=False, compare=False)
+
     # transient, per-exchange fields
     _mp1: int = 0
     _mp2: int = 0
@@ -240,6 +249,8 @@ class MeetingPointsSession:
 
         outcome = MeetingPointsOutcome(status=STATUS_MEETING_POINTS)
         outcome.k_agreed = their_counter is not None and their_counter == self._own_counter_hash
+        recorder = self.recorder
+        was_simulating = self.status == STATUS_SIMULATE
 
         # The "are we consistent?" check happens every consistency phase: if the
         # full-transcript hashes agree the link looks clean, the search state is
@@ -249,9 +260,21 @@ class MeetingPointsSession:
         if their_full is not None and their_full == self._own_full_hash:
             outcome.status = STATUS_SIMULATE
             outcome.full_match = True
+            if recorder is not None and self.k > 1:
+                # A real search (k > 1) just recovered; steady-state matches
+                # at k = 1 are not transitions and stay out of the ring.
+                recorder.emit(
+                    "meeting_point", event="recovered", link=self.link,
+                    iteration=iteration, k=self.k,
+                )
             self._reset_counters()
             self.status = STATUS_SIMULATE
             return outcome
+        if recorder is not None and was_simulating:
+            recorder.emit(
+                "meeting_point", event="diverged", link=self.link,
+                iteration=iteration, k=self.k,
+            )
 
         if not outcome.k_agreed:
             # The two endpoints disagree about how long they have been
@@ -262,6 +285,11 @@ class MeetingPointsSession:
             # is caused by (and therefore charged to) a corrupted exchange.
             self.error_count += 1
             self.resets += 1
+            if recorder is not None:
+                recorder.emit(
+                    "meeting_point", event="reset", link=self.link,
+                    iteration=iteration, k=self.k,
+                )
             self._reset_counters()
             self.status = STATUS_MEETING_POINTS
             outcome.reset = True
@@ -285,8 +313,19 @@ class MeetingPointsSession:
             self.mpc1 = 0
             self.mpc2 = 0
 
+        if recorder is not None and outcome.vote is not None:
+            recorder.emit(
+                "meeting_point", event="vote", vote=outcome.vote, link=self.link,
+                iteration=iteration, k=self.k,
+            )
+
         if outcome.truncate_to is not None:
             self.truncations += 1
+            if recorder is not None:
+                recorder.emit(
+                    "meeting_point", event="truncate", link=self.link,
+                    iteration=iteration, k=self.k, truncate_to=outcome.truncate_to,
+                )
             self._reset_counters()
 
         self.status = STATUS_MEETING_POINTS

@@ -55,6 +55,9 @@ class TrialSet:
     label: str
     runs: List[RunMetrics]
     aggregate: AggregateMetrics
+    #: Flight-recorder dumps (one per executed trial, sorted by seed) when a
+    #: recorder was ambient during the run; ``None`` otherwise.
+    forensics: Optional[List[Dict[str, object]]] = None
 
     def as_dict(self) -> Dict[str, object]:
         data = self.aggregate.as_dict()
@@ -119,7 +122,6 @@ def run_trials(
         runs = execute_trials(specs, backend=backend, cache=cache)
     wall_clock_seconds = time.perf_counter() - started
     cached_trials = (active_cache.stats.hits - hits_before) if active_cache is not None else 0
-    trial_set = TrialSet(label=name, runs=runs, aggregate=summarize_runs(runs, scheme=scheme.name))
     run_store: Optional[RunStore] = get_runtime().store if store is _UNSET else store
     attribution = popper() if callable(popper) else None
     if attribution is not None:
@@ -131,6 +133,25 @@ def run_trials(
         counters_delta(metrics_before, obs.metrics.flat_snapshot())
         if metrics_before is not None
         else None
+    )
+    forensics = None
+    if obs.recorder is not None:
+        # Dumps arrive in execution order (worker completion order under the
+        # distributed backend); sort by trial seed so the stored record is a
+        # pure function of the specs, whatever backend ran them.  Cache hits
+        # never executed, so a fully-cached cell stores an empty list.
+        forensics = sorted(
+            obs.recorder.drain(),
+            key=lambda dump: (
+                (dump.get("trial") or {}).get("seed") is None,
+                (dump.get("trial") or {}).get("seed"),
+            ),
+        )
+    trial_set = TrialSet(
+        label=name,
+        runs=runs,
+        aggregate=summarize_runs(runs, scheme=scheme.name),
+        forensics=forensics,
     )
     if run_store is not None:
         run_store.record_trial_set(
@@ -147,6 +168,7 @@ def run_trials(
             cached_trials=cached_trials,
             worker_attribution=attribution,
             obs_metrics=obs_metrics,
+            forensics=forensics,
         )
         if obs.tracer is not None:
             spans = obs.tracer.drain()

@@ -44,6 +44,8 @@ from typing import Dict, List, Sequence, Tuple
 from repro.adversary.base import Adversary, NoiselessAdversary
 from repro.network.channel import ChannelStats, Symbol, TransmissionContext, WindowContext
 from repro.network.graph import Graph
+from repro.obs.context import get_obs
+from repro.obs.recorder import link_label
 
 _VALID_SYMBOLS = (0, 1, None)
 
@@ -74,6 +76,12 @@ class NoisyNetwork:
 
     def __post_init__(self) -> None:
         self._check_notify_contract(self.adversary)
+        # Construction-time capture of the ambient flight recorder (mirrors
+        # the engine's obs capture): a plain attribute, not a dataclass field,
+        # so it stays invisible to fingerprints, ``repr`` and equality.  The
+        # recorder only ever *reads* traffic the stats already account, so it
+        # cannot perturb deliveries, budgets or the round clock.
+        self.recorder = get_obs().recorder
 
     @staticmethod
     def _check_notify_contract(adversary: Adversary) -> None:
@@ -149,6 +157,12 @@ class NoisyNetwork:
         if received not in _VALID_SYMBOLS:
             raise ValueError(f"adversary produced invalid symbol {received!r}")
         self.stats.record(ctx, symbol, received)
+        recorder = self.recorder
+        if recorder is not None and received != symbol:
+            recorder.record_window(
+                link_label(sender, receiver), phase, iteration, ctx.round_index,
+                (symbol,), (received,),
+            )
         self.adversary.notify_delivery(ctx, symbol, received)
         return received
 
@@ -248,6 +262,10 @@ class NoisyNetwork:
                     if value not in _VALID_SYMBOLS:
                         raise ValueError(f"adversary produced invalid symbol {value!r}")
                 stats.record_window(ctx, window, delivered)
+                if self.recorder is not None:
+                    self.recorder.record_window(
+                        link_label(*link), phase, iteration, base_round, window, delivered
+                    )
             received[link] = delivered
         self.advance_rounds(window_rounds)
         return received
@@ -546,6 +564,7 @@ class PhaseExchange:
         may_insert = self._may_insert
         network.windows_exchanged += 1
         network.merged_dispatches += 1
+        recorder = network.recorder
         per_link_sent: Dict[Tuple[int, int], Dict[int, Symbol]] = {}
         for (link, offset), symbol in self._sent.items():
             per_link_sent.setdefault(link, {})[offset] = symbol
@@ -565,6 +584,11 @@ class PhaseExchange:
                         base_round=self._base_round,
                     )
                     stats.record_window(ctx, silence, baseline)
+                    if recorder is not None:
+                        recorder.record_window(
+                            link_label(*link), self._phase, self._iteration,
+                            self._base_round, silence, baseline,
+                        )
                 continue
             sent_window = [overrides.get(offset) for offset in range(rounds)]
             if may_insert:
@@ -582,4 +606,9 @@ class PhaseExchange:
                 base_round=self._base_round,
             )
             stats.record_window(ctx, sent_window, delivered_window)
+            if recorder is not None:
+                recorder.record_window(
+                    link_label(*link), self._phase, self._iteration,
+                    self._base_round, sent_window, delivered_window,
+                )
         network.advance_rounds(rounds)

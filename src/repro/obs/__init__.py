@@ -34,7 +34,8 @@ Enable from the CLI with ``--obs`` / ``--trace``, or in code::
 
 from repro.obs.context import DISABLED, UNSET, ObsContext, get_obs, set_default_obs, use_obs
 from repro.obs.log import StructuredLogger, configure as configure_logging, get_logger
-from repro.obs.metrics import MetricsRegistry, counters_delta, format_metrics_rows
+from repro.obs.metrics import MetricsRegistry, counters_delta, format_metrics_rows, percentile
+from repro.obs.recorder import EVENT_KINDS, FlightRecorder, classify_slot, link_label
 from repro.obs.surface import critical_path, render_critical_path, render_trace_tree
 from repro.obs.trace import Span, Tracer, new_id
 
@@ -48,6 +49,11 @@ __all__ = [
     "MetricsRegistry",
     "counters_delta",
     "format_metrics_rows",
+    "percentile",
+    "FlightRecorder",
+    "EVENT_KINDS",
+    "classify_slot",
+    "link_label",
     "Tracer",
     "Span",
     "new_id",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.obs.trace import Tracer
 
 #: "Argument not provided" sentinel (same convention as the runtime context's).
@@ -33,14 +34,15 @@ _UNSET = UNSET
 
 @dataclass(frozen=True)
 class ObsContext:
-    """What instrumented code reports into; both fields default to off."""
+    """What instrumented code reports into; all fields default to off."""
 
     metrics: Optional[MetricsRegistry] = None
     tracer: Optional[Tracer] = None
+    recorder: Optional[FlightRecorder] = None
 
     @property
     def enabled(self) -> bool:
-        return self.metrics is not None or self.tracer is not None
+        return self.metrics is not None or self.tracer is not None or self.recorder is not None
 
 
 #: The shared disabled context — the process-wide default until configured.
@@ -55,22 +57,23 @@ def get_obs() -> ObsContext:
     return getattr(_local, "active", None) or _default
 
 
-def set_default_obs(metrics=_UNSET, tracer=_UNSET) -> ObsContext:
+def set_default_obs(metrics=_UNSET, tracer=_UNSET, recorder=_UNSET) -> ObsContext:
     """Replace fields of the process-wide default context.
 
     Unset arguments keep the current value; pass ``metrics=None`` /
-    ``tracer=None`` explicitly to switch a field off.
+    ``tracer=None`` / ``recorder=None`` explicitly to switch a field off.
     """
     global _default
     _default = ObsContext(
         metrics=_default.metrics if metrics is _UNSET else metrics,
         tracer=_default.tracer if tracer is _UNSET else tracer,
+        recorder=_default.recorder if recorder is _UNSET else recorder,
     )
     return _default
 
 
 @contextmanager
-def use_obs(metrics=_UNSET, tracer=_UNSET) -> Iterator[ObsContext]:
+def use_obs(metrics=_UNSET, tracer=_UNSET, recorder=_UNSET) -> Iterator[ObsContext]:
     """Install an observability context for this thread (restored on exit).
 
     Unset arguments inherit from whatever :func:`get_obs` currently resolves
@@ -81,6 +84,7 @@ def use_obs(metrics=_UNSET, tracer=_UNSET) -> Iterator[ObsContext]:
     context = ObsContext(
         metrics=current.metrics if metrics is _UNSET else metrics,
         tracer=current.tracer if tracer is _UNSET else tracer,
+        recorder=current.recorder if recorder is _UNSET else recorder,
     )
     previous = getattr(_local, "active", None)
     _local.active = context

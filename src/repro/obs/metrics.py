@@ -12,8 +12,12 @@ families exist:
   clock alone.
 * **gauges** — last-written values (``worker.cache_entries``).
 * **histograms** — running ``count/sum/min/max`` summaries for timings
-  (``distributed.heartbeat_seconds``).  Timings are never deterministic, so
-  histogram-derived metrics are informative-only in diffs.
+  (``distributed.heartbeat_seconds``), plus nearest-rank p50/p90/p99
+  percentiles over a bounded window of the most recent
+  :data:`RETAINED_SAMPLES` observations (bounded so a million-trial sweep
+  cannot grow a registry without limit; the percentile is exact until the
+  window fills, recency-weighted after).  Timings are never deterministic,
+  so histogram-derived metrics are informative-only in diffs.
 
 Names are interned (:func:`sys.intern`): the same metric is incremented many
 times with the same literal, and interning makes every later dict lookup a
@@ -29,7 +33,23 @@ from __future__ import annotations
 
 import sys
 import threading
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from collections import deque
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+#: Per-histogram cap on retained samples for percentile summaries.
+RETAINED_SAMPLES = 1024
+
+#: The percentiles every histogram summary reports.
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(samples: Sequence[float], rank: float) -> float:
+    """Nearest-rank percentile of a non-empty sample collection."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("cannot take a percentile of no samples")
+    index = max(0, -(-len(ordered) * rank // 100) - 1)  # ceil(n*p/100) - 1
+    return ordered[int(index)]
 
 
 class MetricsRegistry:
@@ -41,6 +61,8 @@ class MetricsRegistry:
         self._gauges: Dict[str, float] = {}
         # name -> [count, sum, min, max]
         self._histograms: Dict[str, list] = {}
+        # name -> bounded window of the most recent samples (percentiles)
+        self._samples: Dict[str, deque] = {}
 
     # -- writing -----------------------------------------------------------
 
@@ -79,6 +101,7 @@ class MetricsRegistry:
             summary = self._histograms.get(name)
             if summary is None:
                 self._histograms[name] = [1, value, value, value]
+                self._samples[name] = deque((value,), maxlen=RETAINED_SAMPLES)
             else:
                 summary[0] += 1
                 summary[1] += value
@@ -86,31 +109,40 @@ class MetricsRegistry:
                     summary[2] = value
                 if value > summary[3]:
                     summary[3] = value
+                self._samples[name].append(value)
 
     # -- reading -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
         """A structured copy: ``{"counters", "gauges", "histograms"}``."""
         with self._lock:
+            histograms: Dict[str, Dict[str, float]] = {}
+            for name, summary in self._histograms.items():
+                entry = {
+                    "count": summary[0],
+                    "sum": summary[1],
+                    "min": summary[2],
+                    "max": summary[3],
+                    "mean": summary[1] / summary[0] if summary[0] else 0.0,
+                }
+                samples = self._samples.get(name)
+                if samples:
+                    ordered = sorted(samples)
+                    for rank in PERCENTILES:
+                        entry[f"p{rank}"] = percentile(ordered, rank)
+                histograms[name] = entry
             return {
                 "counters": dict(self._counters),
                 "gauges": dict(self._gauges),
-                "histograms": {
-                    name: {
-                        "count": summary[0],
-                        "sum": summary[1],
-                        "min": summary[2],
-                        "max": summary[3],
-                        "mean": summary[1] / summary[0] if summary[0] else 0.0,
-                    }
-                    for name, summary in self._histograms.items()
-                },
+                "histograms": histograms,
             }
 
     def flat_snapshot(self) -> Dict[str, float]:
         """One flat ``name → number`` map: counters and gauges verbatim,
-        histograms expanded to ``<name>.count`` / ``<name>.sum_seconds``-style
-        keys — the shape stored records and diffs consume."""
+        histograms expanded to ``<name>.count`` / ``<name>.sum`` /
+        ``<name>.p50``-style keys — the shape stored records and diffs
+        consume (percentile keys, like every histogram-derived key, are
+        informative-only in diffs)."""
         with self._lock:
             flat: Dict[str, float] = dict(self._counters)
             flat.update(self._gauges)
@@ -118,6 +150,11 @@ class MetricsRegistry:
                 flat[f"{name}.count"] = summary[0]
                 flat[f"{name}.sum"] = summary[1]
                 flat[f"{name}.max"] = summary[3]
+                samples = self._samples.get(name)
+                if samples:
+                    ordered = sorted(samples)
+                    for rank in PERCENTILES:
+                        flat[f"{name}.p{rank}"] = percentile(ordered, rank)
             return flat
 
 

@@ -215,7 +215,7 @@ _CELL_EXTRACTORS = {
 #: Counter-name suffixes that are timing- or histogram-derived and therefore
 #: never gate in the ``metrics`` view: timings jitter, and a histogram's
 #: ``.max``/``.sum`` move with scheduling even when the workload is identical.
-_INFORMATIVE_SUFFIXES = ("_seconds", ".count", ".sum", ".min", ".max")
+_INFORMATIVE_SUFFIXES = ("_seconds", ".count", ".sum", ".min", ".max", ".p50", ".p90", ".p99")
 
 
 def _classify_counter(baseline: float, candidate: float, thresholds: RegressionThresholds) -> str:

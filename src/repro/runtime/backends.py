@@ -28,17 +28,22 @@ import math
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics
 from repro.core.engine import simulate
-from repro.obs import get_obs
+from repro.obs import FlightRecorder, get_obs, use_obs
 from repro.runtime.spec import TrialSpec
 
 
 def execute_trial(spec: TrialSpec) -> RunMetrics:
     """Run one trial: build a fresh adversary from the trial seed and simulate."""
-    tracer = get_obs().tracer
+    obs = get_obs()
+    recorder = obs.recorder
+    if recorder is not None:
+        recorder.begin_trial(seed=spec.seed, scheme=spec.scheme.name)
+    tracer = obs.tracer
     if tracer is not None:
         # ``trial()`` applies the tracer's sampling policy: an unsampled trial
         # suppresses its own span and every engine span opened under it.
@@ -49,16 +54,45 @@ def execute_trial(spec: TrialSpec) -> RunMetrics:
             )
             if span is not None:
                 span.set(success=result.success, iterations=result.iterations_run)
-            return result.metrics
-    adversary = spec.adversary_factory(spec.seed)
-    result = simulate(spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed)
+    else:
+        adversary = spec.adversary_factory(spec.seed)
+        result = simulate(
+            spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed
+        )
+    if recorder is not None:
+        metrics = result.metrics
+        recorder.finish_trial(
+            success=result.success,
+            iterations_run=metrics.iterations_run,
+            iterations_budget=metrics.iterations_budget,
+            noise_fraction=metrics.noise_fraction,
+            corruptions=metrics.corruptions,
+            tolerance=spec.scheme.nominal_noise_fraction(spec.workload.protocol.graph),
+            rewinds_sent=metrics.rewinds_sent,
+            hash_mismatches_detected=metrics.hash_mismatches_detected,
+            hash_collisions_observed=metrics.hash_collisions_observed,
+        )
     return result.metrics
 
 
-def _execute_chunk(specs: Sequence[TrialSpec]) -> List[RunMetrics]:
+def _execute_chunk(
+    specs: Sequence[TrialSpec],
+    forensics_capacity: Optional[int] = None,
+) -> Tuple[List[RunMetrics], List[Dict[str, Any]]]:
     """Worker entry point: run a contiguous chunk of trials (module-level so
-    it is picklable under every multiprocessing start method)."""
-    return [execute_trial(spec) for spec in specs]
+    it is picklable under every multiprocessing start method).
+
+    Worker processes never inherit the parent's ambient obs context, so when
+    the parent had a flight recorder installed it passes the ring capacity
+    instead: the chunk runs under a fresh local recorder and the JSON-pure
+    dumps ride home with the metrics (mirroring the distributed worker's
+    ``forensics`` result-frame field)."""
+    if forensics_capacity is None:
+        return [execute_trial(spec) for spec in specs], []
+    recorder = FlightRecorder(capacity=forensics_capacity)
+    with use_obs(recorder=recorder):
+        metrics = [execute_trial(spec) for spec in specs]
+    return metrics, recorder.drain()
 
 
 class ExecutionBackend(ABC):
@@ -103,9 +137,13 @@ class ProcessPoolBackend(ExecutionBackend):
     workers early; otherwise they are reaped at interpreter exit.
 
     Observability caveat: worker *processes* do not inherit the ambient
-    :mod:`repro.obs` context, so trials executed in the pool run
-    uninstrumented (no spans, no engine counter flush).  The serial and
-    distributed backends observe everything; use one of those when tracing.
+    :mod:`repro.obs` context, so trials executed in the pool run without
+    spans or engine counter flushes.  The serial and distributed backends
+    observe everything; use one of those when tracing.  The flight recorder
+    is the exception: when one is ambient, each chunk runs under a fresh
+    worker-local recorder and its dumps ride back with the results (see
+    :func:`_execute_chunk`), so ``--forensics --jobs N`` records exactly
+    what a serial run would.
     """
 
     name = "process-pool"
@@ -147,5 +185,16 @@ class ProcessPoolBackend(ExecutionBackend):
         self.trials_executed += len(specs)
         if len(specs) <= 1:
             return [execute_trial(spec) for spec in specs]
-        chunk_results = list(self._pool().map(_execute_chunk, self._chunks(specs)))
-        return [metrics for chunk in chunk_results for metrics in chunk]
+        recorder = get_obs().recorder
+        task = (
+            _execute_chunk
+            if recorder is None
+            else partial(_execute_chunk, forensics_capacity=recorder.capacity)
+        )
+        chunk_results = list(self._pool().map(task, self._chunks(specs)))
+        results: List[RunMetrics] = []
+        for chunk_metrics, dumps in chunk_results:
+            results.extend(chunk_metrics)
+            if recorder is not None:
+                recorder.adopt(dumps)
+        return results

@@ -45,7 +45,7 @@ from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunMetrics
-from repro.obs import MetricsRegistry, Tracer, get_logger, get_obs
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer, get_logger, get_obs
 from repro.runtime.backends import ExecutionBackend
 from repro.runtime.cache import CACHE_SCHEMA_VERSION
 from repro.runtime.distributed.wire import (
@@ -133,6 +133,7 @@ class _WorkerLink:
         trace: Optional[Dict[str, Any]] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> List[RunMetrics]:
         """Run one chunk remotely; heartbeat frames reset the read timeout.
 
@@ -142,6 +143,11 @@ class _WorkerLink:
         observed inter-frame gap as the ``distributed.heartbeat_seconds``
         histogram — the live measure of how close a worker runs to its
         declared pulse (and how near the timeout the cluster is operating).
+        ``recorder`` turns on the worker-side flight recorder for this chunk
+        (sized to the coordinator recorder's capacity); the result frame's
+        ``forensics`` dumps are adopted into it.  Dumps only ever travel in
+        the result frame, so a chunk re-dispatched after a worker death can
+        never duplicate a trial's dump.
         """
         try:
             encoded = encode_specs(specs)
@@ -156,6 +162,8 @@ class _WorkerLink:
         request: Dict[str, Any] = {"type": "execute", "chunk_id": chunk_id, "specs": encoded}
         if trace is not None:
             request["trace"] = trace
+        if recorder is not None:
+            request["forensics"] = {"enabled": True, "capacity": recorder.capacity}
         send_frame(self.sock, request)
         previous_frame = time.monotonic()
         while True:
@@ -173,6 +181,8 @@ class _WorkerLink:
                     raise WireError(f"worker {self.address} returned a mismatched result frame")
                 if tracer is not None:
                     tracer.adopt(frame.get("spans") or ())
+                if recorder is not None:
+                    recorder.adopt(frame.get("forensics") or ())
                 return [RunMetrics.from_payload(payload) for payload in payloads]
             if kind == "error":
                 raise TrialExecutionError(
@@ -410,7 +420,7 @@ class DistributedBackend(ExecutionBackend):
         # threads below cannot see its thread-local scope, so the registry,
         # tracer and parent span id travel to them explicitly.
         obs = get_obs()
-        registry, tracer = obs.metrics, obs.tracer
+        registry, tracer, recorder = obs.metrics, obs.tracer, obs.recorder
         links = self._connect()
         stats: Dict[str, Dict[str, int]] = {
             link.worker_id: {
@@ -431,7 +441,7 @@ class DistributedBackend(ExecutionBackend):
                         "every distributed worker died before dispatch "
                         f"({len(pending)} trial(s) unassigned)"
                     )
-                self._dispatch_phase(links, pending, results, stats, registry, tracer)
+                self._dispatch_phase(links, pending, results, stats, registry, tracer, recorder)
         finally:
             self._last_attribution = {
                 "backend": self.name,
@@ -512,6 +522,7 @@ class DistributedBackend(ExecutionBackend):
         stats: Dict[str, Dict[str, int]],
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         # The caller's innermost span (run_trials' trial_set span) becomes
         # the explicit parent of every dispatch_chunk span — drive threads
@@ -557,9 +568,12 @@ class DistributedBackend(ExecutionBackend):
                                 },
                                 registry=registry,
                                 tracer=tracer,
+                                recorder=recorder,
                             )
                     else:
-                        metrics = link.execute(chunk_id, chunk_specs, registry=registry)
+                        metrics = link.execute(
+                            chunk_id, chunk_specs, registry=registry, recorder=recorder
+                        )
                 except TrialExecutionError as exc:
                     # Deterministic failure: re-dispatching would fail again
                     # everywhere.  Surface it and stop the whole run.

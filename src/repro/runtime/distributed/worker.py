@@ -34,7 +34,7 @@ from typing import Any, Dict, List, Optional, Union
 
 from pathlib import Path
 
-from repro.obs import MetricsRegistry, Tracer, get_logger, use_obs
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer, get_logger, use_obs
 from repro.runtime.backends import execute_trial
 from repro.runtime.cache import CACHE_SCHEMA_VERSION, ResultCache
 from repro.runtime.distributed.wire import (
@@ -271,6 +271,14 @@ class WorkerServer:
                 trace_id=str(trace["trace_id"]),
                 worker=self.worker_id,
             )
+        forensics = request.get("forensics")
+        recorder: Optional[FlightRecorder] = None
+        if isinstance(forensics, dict) and forensics.get("enabled"):
+            # The coordinator is flight-recording: capture this chunk's trial
+            # dumps locally and ship them back inside the result frame for
+            # adoption — dumps are JSON-pure, so the wire round trip is
+            # lossless and coordinator-side forensics cover remote workers.
+            recorder = FlightRecorder(capacity=int(forensics.get("capacity") or 4096))
         try:
             specs = decode_specs(request["specs"])
             payloads: List[Dict[str, Any]] = []
@@ -284,7 +292,7 @@ class WorkerServer:
                         self.cache.put(fingerprint_trial(spec), metrics)
                     payloads.append(metrics.to_payload())
 
-            with use_obs(metrics=self.registry, tracer=tracer):
+            with use_obs(metrics=self.registry, tracer=tracer, recorder=recorder):
                 if tracer is not None:
                     with tracer.span(
                         "worker_chunk",
@@ -303,6 +311,8 @@ class WorkerServer:
             }
             if tracer is not None:
                 response["spans"] = tracer.drain()
+            if recorder is not None:
+                response["forensics"] = recorder.drain()
         except WorkerCrash:
             raise
         except Exception as exc:  # deterministic simulation failure → report, don't die

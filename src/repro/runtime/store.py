@@ -272,6 +272,7 @@ class RunStore:
         cached_trials: Optional[int] = None,
         worker_attribution: Optional[Dict[str, object]] = None,
         obs_metrics: Optional[Dict[str, float]] = None,
+        forensics: Optional[Sequence[Dict[str, object]]] = None,
     ) -> str:
         """Persist one experimental cell; returns the new run id.
 
@@ -283,7 +284,10 @@ class RunStore:
         ``obs_metrics`` is the flat metric delta this cell produced in the
         ambient :class:`~repro.obs.metrics.MetricsRegistry` (present only
         when one was active) — ``repro runs metrics`` renders it and
-        ``repro runs diff --kind metrics`` gates on it.
+        ``repro runs diff --kind metrics`` gates on it.  ``forensics`` is the
+        per-trial dump list of an active
+        :class:`~repro.obs.recorder.FlightRecorder` — ``repro runs explain``
+        and ``repro runs flight`` read it back; purely informative.
         """
         payload: Dict[str, object] = {
             "kind": "trial_set",
@@ -301,6 +305,8 @@ class RunStore:
             payload["workers"] = worker_attribution
         if obs_metrics is not None:
             payload["obs_metrics"] = obs_metrics
+        if forensics is not None:
+            payload["forensics"] = [dict(dump) for dump in forensics]
         return self._write(payload)
 
     def record_trace(

@@ -637,6 +637,27 @@ class TestCheckContract:
         with pytest.raises(ContractViolation, match="batched-equivalence"):
             check_contract(divergent)
 
+    @pytest.mark.parametrize(
+        "builder", list(STOCK_CONTRACT_CASES.values()), ids=list(STOCK_CONTRACT_CASES)
+    )
+    def test_conformance_is_recorder_invariant(self, builder):
+        """An ambient flight recorder must not perturb the conformance probe.
+
+        The probe replays the adversary's RNG and budget state across its
+        windows; if recorder presence changed either, the same adversary
+        would pass dark and fail observed (or vice versa).  Pin report
+        equality and identical end state across the two runs.
+        """
+        from repro.adversary.contract import _state_snapshot
+        from repro.obs import FlightRecorder, use_obs
+
+        dark_report = check_contract(builder())
+        observed_subject = builder()
+        with use_obs(recorder=FlightRecorder()):
+            observed_report = check_contract(observed_subject)
+        assert observed_report == dark_report
+        assert _state_snapshot(observed_subject) == _state_snapshot(builder())
+
 
 class TestSlotAddressedModes:
     """Unit behaviour of the opt-in slot-addressed adversary modes."""

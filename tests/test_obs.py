@@ -89,6 +89,41 @@ class TestMetricsRegistry:
         assert flat["t_seconds.max"] == pytest.approx(1.5)
         assert registry.snapshot()["histograms"]["t_seconds"]["min"] == pytest.approx(0.5)
 
+    def test_nearest_rank_percentile(self):
+        from repro.obs import percentile
+
+        samples = list(range(1, 101))  # 1..100: pN is exactly N
+        assert percentile(samples, 50) == 50
+        assert percentile(samples, 90) == 90
+        assert percentile(samples, 99) == 99
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([3.0, 1.0], 99) == 3.0  # unsorted input is fine
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_histogram_snapshots_report_percentiles(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("t_seconds", float(value))
+        entry = registry.snapshot()["histograms"]["t_seconds"]
+        assert (entry["p50"], entry["p90"], entry["p99"]) == (50.0, 90.0, 99.0)
+        flat = registry.flat_snapshot()
+        assert flat["t_seconds.p50"] == 50.0
+        assert flat["t_seconds.p90"] == 90.0
+        assert flat["t_seconds.p99"] == 99.0
+
+    def test_percentile_window_is_bounded_and_recency_weighted(self):
+        from repro.obs.metrics import RETAINED_SAMPLES
+
+        registry = MetricsRegistry()
+        for _ in range(RETAINED_SAMPLES):
+            registry.observe("t_seconds", 1.0)
+        for _ in range(RETAINED_SAMPLES):
+            registry.observe("t_seconds", 5.0)  # evicts every 1.0 sample
+        flat = registry.flat_snapshot()
+        assert flat["t_seconds.p50"] == 5.0
+        assert flat["t_seconds.count"] == 2 * RETAINED_SAMPLES  # summary keeps all
+
     def test_gauges_last_write_wins(self):
         registry = MetricsRegistry()
         registry.gauge("g", 1.0)
@@ -290,6 +325,41 @@ class TestStoreAndCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "engine.trials" in out and "transport." not in out
+
+    def test_runs_metrics_surfaces_histogram_percentiles(self, tmp_path, capsys):
+        """A distributed cell records heartbeat-gap histograms; the stored
+        metrics must carry p50/p90/p99 and `runs metrics` must render them
+        in both the text table and --json."""
+        from repro.cli import main
+
+        server = WorkerServer().start()
+        try:
+            workload, scheme, factory = _cell()
+            store = RunStore(tmp_path)
+            backend = DistributedBackend(
+                workers=[server.address], chunk_size=1, probe_cache=False
+            )
+            with use_obs(metrics=MetricsRegistry()):
+                with use_runtime(backend=backend, cache=None, store=store):
+                    run_trials(workload, scheme, adversary_factory=factory,
+                               trials=2, base_seed=3)
+            backend.close()
+        finally:
+            server.stop()
+        (row,) = store.query(kind="trial_set")
+        assert main([
+            "runs", "metrics", row["run_id"], "--store-dir", str(tmp_path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for rank in (50, 90, 99):
+            assert f"distributed.heartbeat_seconds.p{rank}" in payload
+        assert main([
+            "runs", "metrics", row["run_id"], "--store-dir", str(tmp_path),
+            "--prefix", "distributed.",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distributed.heartbeat_seconds.p50" in out
+        assert "distributed.heartbeat_seconds.p99" in out
 
     def test_runs_metrics_without_obs_fails_friendly(self, tmp_path, capsys):
         from repro.cli import main

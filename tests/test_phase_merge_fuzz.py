@@ -10,12 +10,19 @@ counters, the same round clock and the same adversary end state (RNG stream
 positions, budget counters) as the per-round lockstep schedule.
 
 This suite pins that claim differentially: hypothesis draws a workload
-(scheme x topology x stock adversary x seed x observability on/off), runs it
+(scheme x topology x stock adversary x seed x observability mode), runs it
 twice — once with ``merge_phases=False`` (the per-round reference) and once
 with ``merge_phases=True`` — and requires every observable to match exactly.
 One case uses a deliberately non-slot-addressed adversary to pin the
 fallback: the switch must be silently ignored (zero merged dispatches) and
 the run trivially identical.
+
+The observability mode covers the flight recorder too: a run under an
+ambient :class:`~repro.obs.recorder.FlightRecorder` must stay bit-identical
+(results, stats, budgets, RNG positions), and the *recorded* corruption
+events must agree across schedules up to emission order (the merged path
+emits per link at commit; the lockstep path emits round by round — same
+multiset, different interleaving).
 
 Reproducing a failure
 ---------------------
@@ -33,6 +40,9 @@ deliberately small (the suite runs two full simulations per example); crank
 """
 
 from __future__ import annotations
+
+import json
+from contextlib import nullcontext
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -57,6 +67,7 @@ from repro.network.topologies import (
 )
 from repro.obs.context import use_obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
 from repro.protocols.random_protocol import RandomProtocol
 from repro.utils.rng import make_rng
 
@@ -140,20 +151,34 @@ def _workload(topology_name, seed):
     return graph, protocol
 
 
-def _run(scheme_name, topology_name, adversary_name, seed, merge, observed):
-    """One full simulation; returns (simulator, result)."""
+#: Observability modes a fuzz case may run under; "recorder" puts an ambient
+#: FlightRecorder around construction *and* run (the engine and network
+#: capture it at construction time).
+_OBS_MODES = ("dark", "metrics", "recorder")
+
+
+def _run(scheme_name, topology_name, adversary_name, seed, merge, obs_mode="dark"):
+    """One full simulation; returns (simulator, result, recorder-or-None)."""
     graph, protocol = _workload(topology_name, seed)
     adversary = _ADVERSARIES[adversary_name](graph, seed)
-    simulator = InteractiveCodingSimulator(
-        protocol, scheme=scheme_by_name(scheme_name), adversary=adversary, seed=seed
-    )
-    simulator.merge_phases = merge
-    if observed:
-        with use_obs(metrics=MetricsRegistry()):
-            result = simulator.run()
+    # A ring big enough to never drop: event-multiset comparison between the
+    # two schedules needs the complete record (retention under overflow is
+    # emission-order-dependent, which is exactly what differs).
+    recorder = FlightRecorder(capacity=1_000_000) if obs_mode == "recorder" else None
+    if obs_mode == "dark":
+        scope = nullcontext()
     else:
+        scope = use_obs(
+            metrics=MetricsRegistry() if obs_mode == "metrics" else None,
+            recorder=recorder,
+        )
+    with scope:
+        simulator = InteractiveCodingSimulator(
+            protocol, scheme=scheme_by_name(scheme_name), adversary=adversary, seed=seed
+        )
+        simulator.merge_phases = merge
         result = simulator.run()
-    return simulator, result
+    return simulator, result, recorder
 
 
 def _result_fingerprint(result):
@@ -172,8 +197,8 @@ def _result_fingerprint(result):
 
 
 def _assert_bit_identical(reference_run, merged_run):
-    reference_sim, reference = reference_run
-    merged_sim, merged = merged_run
+    reference_sim, reference = reference_run[:2]
+    merged_sim, merged = merged_run[:2]
     assert _result_fingerprint(merged) == _result_fingerprint(reference)
     assert vars(merged_sim.network.stats) == vars(reference_sim.network.stats)
     assert merged_sim.network.current_round == reference_sim.network.current_round
@@ -183,6 +208,36 @@ def _assert_bit_identical(reference_run, merged_run):
     assert reference_sim.network.merged_dispatches == 0
 
 
+def _events_by_kind(recorder):
+    """The recorder's ring split into (corruption events, everything else)."""
+    corruption, rest = [], []
+    for event in recorder._events:
+        (corruption if event["kind"] == "corruption" else rest).append(event)
+    return corruption, rest
+
+
+def _event_key(event):
+    return json.dumps(event, sort_keys=True, default=str)
+
+
+def _assert_same_recording(reference_recorder, merged_recorder):
+    """Both schedules must record the same protocol events.
+
+    Corruption events are compared as multisets (the merged transport emits
+    per link at phase commit, the lockstep transport round by round — same
+    slots, different interleaving).  Engine- and session-emitted events
+    (meeting points, rewinds, hash collisions, Φ) follow the same
+    runtime-iteration order under both schedules, so they must match in
+    sequence, not just as sets.
+    """
+    assert reference_recorder.events_dropped == 0
+    assert merged_recorder.events_dropped == 0
+    ref_corruption, ref_rest = _events_by_kind(reference_recorder)
+    merged_corruption, merged_rest = _events_by_kind(merged_recorder)
+    assert sorted(map(_event_key, merged_corruption)) == sorted(map(_event_key, ref_corruption))
+    assert list(map(_event_key, merged_rest)) == list(map(_event_key, ref_rest))
+
+
 class TestPhaseMergeDifferential:
     @_FUZZ
     @given(
@@ -190,15 +245,17 @@ class TestPhaseMergeDifferential:
         topology_name=st.sampled_from(sorted(_TOPOLOGIES)),
         adversary_name=st.sampled_from(sorted(_ADVERSARIES)),
         seed=st.integers(0, 10_000),
-        observed=st.booleans(),
+        obs_mode=st.sampled_from(_OBS_MODES),
     )
     def test_merged_schedule_is_bit_identical(
-        self, scheme_name, topology_name, adversary_name, seed, observed
+        self, scheme_name, topology_name, adversary_name, seed, obs_mode
     ):
-        reference_run = _run(scheme_name, topology_name, adversary_name, seed, False, observed)
-        merged_run = _run(scheme_name, topology_name, adversary_name, seed, True, observed)
+        reference_run = _run(scheme_name, topology_name, adversary_name, seed, False, obs_mode)
+        merged_run = _run(scheme_name, topology_name, adversary_name, seed, True, obs_mode)
         _assert_bit_identical(reference_run, merged_run)
-        merged_sim, _ = merged_run
+        if obs_mode == "recorder":
+            _assert_same_recording(reference_run[2], merged_run[2])
+        merged_sim = merged_run[0]
         if adversary_name == "stateful-fallback":
             # slot_addressed is truthfully False: the switch must be ignored.
             assert not merged_sim.adversary.slot_addressed
@@ -211,11 +268,13 @@ class TestPhaseMergeDifferential:
     @given(
         adversary_name=st.sampled_from(sorted(set(_ADVERSARIES) - {"stateful-fallback"})),
         seed=st.integers(0, 10_000),
+        obs_mode=st.sampled_from(tuple(mode for mode in _OBS_MODES if mode != "dark")),
     )
-    def test_merged_schedule_is_obs_invariant(self, adversary_name, seed):
-        """Observability must not perturb the merged schedule (and vice versa)."""
-        dark_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, False)
-        observed_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, True)
+    def test_merged_schedule_is_obs_invariant(self, adversary_name, seed, obs_mode):
+        """Observability (metrics or recorder) must not perturb the merged
+        schedule (and vice versa)."""
+        dark_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, "dark")
+        observed_run = _run("algorithm_crs", "ring5", adversary_name, seed, True, obs_mode)
         assert _result_fingerprint(observed_run[1]) == _result_fingerprint(dark_run[1])
         assert vars(observed_run[0].network.stats) == vars(dark_run[0].network.stats)
         assert observed_run[0].network.merged_dispatches == dark_run[0].network.merged_dispatches
@@ -225,7 +284,7 @@ class TestMergedDispatchObservability:
     def test_merged_dispatch_counter_is_flushed(self):
         registry = MetricsRegistry()
         with use_obs(metrics=registry):
-            simulator, _ = _run("algorithm_crs", "line4", "noiseless", 3, True, False)
+            simulator, _, _ = _run("algorithm_crs", "line4", "noiseless", 3, True, "dark")
         counters = registry.snapshot()["counters"]
         assert counters["transport.merged_dispatches"] == simulator.network.merged_dispatches
         assert counters["transport.merged_dispatches"] > 0
@@ -233,6 +292,24 @@ class TestMergedDispatchObservability:
     def test_reference_schedule_never_merges(self):
         registry = MetricsRegistry()
         with use_obs(metrics=registry):
-            _run("algorithm_crs", "line4", "noiseless", 3, False, False)
+            _run("algorithm_crs", "line4", "noiseless", 3, False, "dark")
         counters = registry.snapshot()["counters"]
         assert "transport.merged_dispatches" not in counters
+
+    def test_recorder_sees_corruptions_on_merged_schedule(self):
+        """The merged transport must feed the flight recorder per slot: one
+        corruption event per changed slot, agreeing with the channel stats."""
+        simulator, _, recorder = _run(
+            "algorithm_crs", "ring5", "random-noise-slot", 7, True, "recorder"
+        )
+        corruption, _ = _events_by_kind(recorder)
+        assert len(corruption) == simulator.network.stats.corruptions > 0
+        by_kind = {"substitution": 0, "deletion": 0, "insertion": 0}
+        for event in corruption:
+            by_kind[event["corruption"]] += 1
+        stats = simulator.network.stats
+        assert by_kind == {
+            "substitution": stats.substitutions,
+            "deletion": stats.deletions,
+            "insertion": stats.insertions,
+        }

@@ -47,3 +47,15 @@ def test_profile_hotpath_per_slot_path():
     assert result.returncode == 0, result.stderr
     assert "per-slot transport" in result.stdout
     assert "tottime" in result.stdout
+
+
+@pytest.mark.smoke
+def test_profile_hotpath_forensics():
+    result = _run(["--forensics"])
+    assert result.returncode == 0, result.stderr
+    assert "flight recorder:" in result.stdout
+    assert "events recorded:" in result.stdout
+    assert "verdict:" in result.stdout
+    # A noisy trial records the event kinds the recorder exists to capture.
+    assert "corruption" in result.stdout
+    assert "potential" in result.stdout
