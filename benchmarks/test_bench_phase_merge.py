@@ -83,12 +83,16 @@ def test_merged_phase_dispatch_is_at_least_twice_as_fast(benchmark, run_once):
     graph, pattern, plan = _workload()
 
     def measure(runner):
-        # Best of two runs per path: a scheduling spike on a shared CI runner
-        # must hit both attempts to move the measurement.
-        first_seconds, first_network = runner(graph, pattern, plan)
-        second_seconds, second_network = runner(graph, pattern, plan)
-        assert vars(first_network.stats) == vars(second_network.stats)
-        return min(first_seconds, second_seconds), first_network
+        # Best of three runs per path: a scheduling spike on a shared CI
+        # runner must hit every attempt to move the measurement.
+        timings = []
+        networks = []
+        for _ in range(3):
+            seconds, network = runner(graph, pattern, plan)
+            timings.append(seconds)
+            networks.append(network)
+        assert vars(networks[0].stats) == vars(networks[1].stats) == vars(networks[2].stats)
+        return min(timings), networks[0]
 
     def compare():
         reference_seconds, reference_network = measure(_per_round_seconds)

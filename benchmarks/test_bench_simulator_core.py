@@ -21,6 +21,7 @@ import time
 import pytest
 
 from repro.adversary.strategies import RandomNoiseAdversary
+from repro.core.config import DEFAULT_ENGINE_CONFIG
 from repro.core.engine import InteractiveCodingSimulator, simulate
 from repro.core.parameters import algorithm_a, algorithm_b, algorithm_c, crs_oblivious_scheme
 from repro.experiments.factories import RandomNoiseFactory
@@ -82,9 +83,17 @@ def test_batched_window_transport_speedup(benchmark, run_once):
     fraction = scheme.nominal_noise_fraction(workload.graph)
     factory = RandomNoiseFactory(fraction=fraction)
 
-    # Capture the cell's window-exchange workload from one real trial.
+    # Capture the cell's window-exchange workload from one real trial.  The
+    # capture profile routes every window through ``exchange_window`` (the
+    # default profile's packed/merged dispatches would bypass the spy and
+    # starve the replay of the dense meeting-points windows this gate is
+    # about; the packed layer has its own gate in
+    # ``test_bench_packed_transport.py``).
+    capture_config = DEFAULT_ENGINE_CONFIG.with_overrides(packed=False, merge_phases=False)
     captured = []
-    sim = InteractiveCodingSimulator(workload.protocol, scheme=scheme, adversary=factory(0), seed=0)
+    sim = InteractiveCodingSimulator(
+        workload.protocol, scheme=scheme, adversary=factory(0), seed=0, config=capture_config
+    )
     original = sim.network.exchange_window
 
     def spy(messages, window_rounds, phase, iteration=-1, sparse=False):

@@ -77,7 +77,13 @@ from repro.runtime import (
     use_runtime,
 )
 
-__version__ = "1.1.0"
+# 2.0.0 is the CRS break: CrsSeedSource now derives per-link seeds through
+# SmallBiasGenerator.packed_slots (same expansion contract as
+# ExchangedSeedSource) with hasher-derived slot capacities, so CRS-scheme
+# transcripts and golden fingerprints differ from 1.x.  The version string is
+# part of every trial fingerprint (repro.runtime.spec), so 1.x cached results
+# can never be served for 2.x trials.
+__version__ = "2.0.0"
 
 __all__ = [
     "InteractiveCodingSimulator",

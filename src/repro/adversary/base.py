@@ -38,9 +38,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from repro.network.channel import Symbol, TransmissionContext, WindowContext
+from repro.utils.bitstring import pack_symbols, unpack_symbols
 
 
 @dataclass
@@ -195,6 +196,29 @@ class Adversary(abc.ABC):
             append(received)
         return delivered
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        """Packed-plane variant of :meth:`corrupt_window`.
+
+        ``(bits, present)`` follow the
+        :func:`~repro.utils.bitstring.pack_symbols` convention: slot ``i``
+        carries bit ``i`` of ``bits`` iff bit ``i`` of ``present`` is set,
+        and is silent otherwise; ``count`` is the window length in rounds.
+        Returns the delivered window as the same kind of plane pair.
+
+        This base implementation is the compatibility fallback: it unpacks
+        the planes, runs :meth:`corrupt_window` (itself falling back to
+        per-slot :meth:`corrupt` calls unless overridden) and re-packs — so
+        every adversary is automatically bit-identical across the packed and
+        symbol-sequence transports.  Native overrides must preserve exactly
+        that equivalence: same delivered planes, same RNG stream
+        consumption, same budget accounting, for every input window
+        (``tests/test_adversaries.py`` pins this for all stock adversaries).
+        """
+        delivered = self.corrupt_window(ctx, tuple(unpack_symbols(bits, present, count)))
+        return pack_symbols(delivered)
+
     def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         """Pure evaluation of the delivery schedule for one window on one link.
 
@@ -251,6 +275,11 @@ class NoiselessAdversary(Adversary):
 
     def corrupt_window(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         return list(symbols)
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        return bits, present
 
     def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         return list(symbols)

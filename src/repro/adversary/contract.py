@@ -5,6 +5,10 @@ Two layers of guarantees hold the transport's transmission paths together:
 * every adversary's ``corrupt_window`` must be **bit-identical** to the
   per-slot fallback (same delivered symbols, same RNG stream consumption,
   same budget accounting), which is what makes the batched fast path legal;
+* every adversary's ``corrupt_window_packed`` must deliver the same planes
+  (and leave the same state) as packing the ``corrupt_window`` output — the
+  packed transport path is only legal because the corruption mask it applies
+  is the one the symbol-sequence path would have produced;
 * a :attr:`~repro.adversary.base.Adversary.slot_addressed` adversary must
   additionally satisfy the slot-addressed laws — purity, slot
   decomposability, path agreement (see
@@ -32,6 +36,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.adversary.base import Adversary, NoiseBudget
 from repro.network.channel import Symbol, WindowContext
+from repro.utils.bitstring import pack_symbols
 from repro.utils.rng import make_rng
 
 #: Default directed links the probe windows run over.  They intentionally
@@ -157,6 +162,45 @@ def _check_batched_equivalence(
             )
 
 
+def _check_packed_equivalence(
+    adv: Adversary,
+    probes: Sequence[Tuple[WindowContext, Tuple[Symbol, ...]]],
+) -> None:
+    """corrupt_window_packed must apply the same corruption mask as
+    corrupt_window: same delivered planes, same state afterwards."""
+    packed = copy.deepcopy(adv)
+    reference = copy.deepcopy(adv)
+    packed.reset()
+    reference.reset()
+    for ctx, symbols in probes:
+        bits, present = pack_symbols(symbols)
+        got = packed.corrupt_window_packed(ctx, bits, present, len(symbols))
+        expected_symbols = reference.corrupt_window(ctx, symbols)
+        expected = pack_symbols(expected_symbols)
+        if got != expected:
+            raise ContractViolation(
+                "packed-equivalence",
+                f"{type(adv).__name__}.corrupt_window_packed delivers planes "
+                f"{got!r} on {ctx!r} but corrupt_window delivers "
+                f"{expected_symbols!r} (= planes {expected!r})",
+            )
+        delivered_bits, delivered_present = got
+        if delivered_bits & ~delivered_present:
+            raise ContractViolation(
+                "packed-equivalence",
+                f"{type(adv).__name__}.corrupt_window_packed broke the plane "
+                f"invariant on {ctx!r}: bits {delivered_bits:#x} outside the "
+                f"present mask {delivered_present:#x}",
+            )
+        if _state_snapshot(packed) != _state_snapshot(reference):
+            raise ContractViolation(
+                "packed-equivalence",
+                f"{type(adv).__name__}.corrupt_window_packed left different state "
+                f"than corrupt_window after {ctx!r} (RNG streams or budget "
+                "counters diverged)",
+            )
+
+
 def _check_slot_addressed(
     adv: Adversary,
     probes: Sequence[Tuple[WindowContext, Tuple[Symbol, ...]]],
@@ -241,7 +285,9 @@ def check_contract(
 ) -> ContractReport:
     """Probe ``adv`` against every contract it declares.
 
-    Always checks batched-vs-per-slot equivalence.  When
+    Always checks batched-vs-per-slot equivalence and packed-vs-batched
+    equivalence (``corrupt_window_packed`` delivering the same corruption
+    mask, plane invariant included).  When
     ``adv.slot_addressed`` is ``True``, additionally probes the slot-addressed
     laws (purity, slot decomposability, path agreement); when ``False``,
     verifies that :meth:`~repro.adversary.base.Adversary.corruption_schedule`
@@ -258,8 +304,9 @@ def check_contract(
     probe_links = tuple(links) if links is not None else _DEFAULT_LINKS
     probe_phases = tuple(phases) if phases is not None else _DEFAULT_PHASES
     probes = _probe_windows(probe_links, probe_phases, window_rounds, windows, seed)
-    laws: List[str] = ["batched-equivalence"]
+    laws: List[str] = ["batched-equivalence", "packed-equivalence"]
     _check_batched_equivalence(adv, probes)
+    _check_packed_equivalence(adv, probes)
     if adv.slot_addressed:
         _check_slot_addressed(adv, probes)
         laws += ["purity", "slot-decomposability", "path-agreement"]

@@ -34,6 +34,20 @@ from repro.network.channel import (
 #: Key of one channel slot in an oblivious noise pattern.
 SlotKey = Tuple[int, int, int]  # (round_index, sender, receiver)
 
+
+def _index_pattern_by_link(pattern: Dict[SlotKey, object]) -> Dict[Tuple[int, int], Dict[int, object]]:
+    """Group an oblivious pattern by directed link (round -> value).
+
+    Built eagerly at construction time: the slot-addressed purity law forbids
+    ``corruption_schedule`` (and the packed kernels that share its pattern)
+    from writing any state, so lazy memoisation on first use is off the
+    table.
+    """
+    by_link: Dict[Tuple[int, int], Dict[int, object]] = {}
+    for (round_index, sender, receiver), value in pattern.items():
+        by_link.setdefault((sender, receiver), {})[round_index] = value
+    return by_link
+
 #: Sentinel distinguishing "slot not in pattern" from a pattern value of
 #: ``None`` (which the fixing adversary uses to force silence).
 _MISSING = object()
@@ -68,6 +82,7 @@ class AdditiveObliviousAdversary(Adversary):
                 raise ValueError(f"pattern offset for slot {key} must be 1 or 2, got {offset}")
         # Insertions only happen on slots the pattern touches.
         self.may_insert = bool(self.pattern)
+        self._pattern_by_link = _index_pattern_by_link(self.pattern)
 
     def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
         offset = self.pattern.get(slot_key(ctx), 0)
@@ -92,6 +107,44 @@ class AdditiveObliviousAdversary(Adversary):
         ]
 
     corrupt_window = corruption_schedule
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # The corruption mask of the window is generated in one pass over
+        # this directed link's pattern entries (or over the window's slots,
+        # whichever is smaller); clean links pass their planes through with
+        # no per-slot work at all.
+        per_round = self._pattern_by_link.get(ctx.link)
+        if not per_round:
+            return bits, present
+        base = ctx.base_round
+        if count <= len(per_round):
+            hits = [
+                (slot, per_round[base + slot])
+                for slot in range(count)
+                if base + slot in per_round
+            ]
+        else:
+            hits = [
+                (round_index - base, offset)
+                for round_index, offset in per_round.items()
+                if 0 <= round_index - base < count
+            ]
+        for slot, offset in hits:
+            mask = 1 << slot
+            sent = ((bits >> slot) & 1) if present & mask else None
+            received = apply_additive_noise(sent, offset)
+            if received is None:
+                bits &= ~mask
+                present &= ~mask
+            else:
+                present |= mask
+                if received:
+                    bits |= mask
+                else:
+                    bits &= ~mask
+        return bits, present
 
     def planned_corruptions(self) -> int:
         return len(self.pattern)
@@ -122,6 +175,7 @@ class FixingObliviousAdversary(Adversary):
             if value not in (0, 1, None):
                 raise ValueError(f"pattern value for slot {key} must be 0, 1 or None")
         self.may_insert = any(value is not None for value in self.pattern.values())
+        self._pattern_by_link = _index_pattern_by_link(self.pattern)
 
     def corrupt(self, ctx: TransmissionContext, sent: Symbol) -> Symbol:
         key = slot_key(ctx)
@@ -148,6 +202,40 @@ class FixingObliviousAdversary(Adversary):
         ]
 
     corrupt_window = corruption_schedule
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # One pass per directed link, like the additive kernel: only the
+        # window's fixed slots are rewritten, everything else passes through.
+        per_round = self._pattern_by_link.get(ctx.link)
+        if not per_round:
+            return bits, present
+        base = ctx.base_round
+        if count <= len(per_round):
+            hits = [
+                (slot, per_round[base + slot])
+                for slot in range(count)
+                if base + slot in per_round
+            ]
+        else:
+            hits = [
+                (round_index - base, fixed)
+                for round_index, fixed in per_round.items()
+                if 0 <= round_index - base < count
+            ]
+        for slot, fixed in hits:
+            mask = 1 << slot
+            if fixed is None:
+                bits &= ~mask
+                present &= ~mask
+            else:
+                present |= mask
+                if fixed:
+                    bits |= mask
+                else:
+                    bits &= ~mask
+        return bits, present
 
     def planned_corruptions(self) -> int:
         return len(self.pattern)

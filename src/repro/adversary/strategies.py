@@ -174,6 +174,87 @@ class RandomNoiseAdversary(Adversary):
         budget.corruptions_spent = spent
         return out
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # Insertions touch silent slots too; that rare configuration keeps
+        # the generic unpack fallback.  Otherwise only the transmitted slots
+        # matter, so the kernel walks the set bits of ``present`` LSB-first —
+        # which is exactly offset order, preserving the RNG draw sequence of
+        # the symbol paths draw for draw.
+        if self.insertion_probability > 0.0:
+            return super().corrupt_window_packed(ctx, bits, present, count)
+        probability = self.corruption_probability
+        if self.slot_addressed:
+            if probability <= 0.0:
+                return bits, present
+            sender, receiver = ctx.link
+            base = ctx.base_round
+            seed = self.seed
+            remaining = present
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                rng = slot_rng(seed, base + low.bit_length() - 1, sender, receiver)
+                if rng.random() >= probability:
+                    continue
+                received = _corrupt_randomly(rng, (bits >> (low.bit_length() - 1)) & 1)
+                if received is None:
+                    bits &= ~low
+                    present ^= low
+                elif received:
+                    bits |= low
+                else:
+                    bits &= ~low
+            return bits, present
+        budget = self.budget
+        if probability <= 0.0:
+            if budget is not None and present:
+                budget.observe_transmissions(present.bit_count())
+            return bits, present
+        rng = self._rng
+        rand = rng.random
+        if budget is None:
+            remaining = present
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                if rand() >= probability:
+                    continue
+                received = _corrupt_randomly(rng, (bits >> (low.bit_length() - 1)) & 1)
+                if received is None:
+                    bits &= ~low
+                    present ^= low
+                elif received:
+                    bits |= low
+                else:
+                    bits &= ~low
+            return bits, present
+        seen = budget.transmissions_seen
+        spent = budget.corruptions_spent
+        fraction = budget.fraction
+        allowance = budget.absolute_allowance
+        allowance_at = budget.allowance_at
+        remaining = present
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            seen += 1
+            if rand() >= probability or spent + 1 > allowance_at(fraction, seen, allowance):
+                continue
+            received = _corrupt_randomly(rng, (bits >> (low.bit_length() - 1)) & 1)
+            spent += 1
+            if received is None:
+                bits &= ~low
+                present ^= low
+            elif received:
+                bits |= low
+            else:
+                bits &= ~low
+        budget.transmissions_seen = seen
+        budget.corruptions_spent = spent
+        return bits, present
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         if self.budget is not None:
@@ -283,6 +364,20 @@ class LinkTargetedAdversary(Adversary):
             return _pass_through_observing(self._budget, symbols)
         return super().corrupt_window(ctx, symbols)
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # Off-target windows pass their planes through untouched; only the
+        # sequential mode's budget observes their realised communication
+        # (the slot-addressed mode never touches the budget).
+        if ctx.link != tuple(self.target) or (
+            self.phases is not None and ctx.phase not in self.phases
+        ):
+            if not self.slot_addressed and present:
+                self._budget.observe_transmissions(present.bit_count())
+            return bits, present
+        return super().corrupt_window_packed(ctx, bits, present, count)
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         self._budget = NoiseBudget(fraction=self.fraction)
@@ -368,6 +463,19 @@ class BurstAdversary(Adversary):
         ):
             return list(symbols)
         return super().corrupt_window(ctx, symbols)
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # Windows disjoint from the burst interval (or, in the sequential
+        # mode, after the cap is exhausted) pass their planes straight
+        # through; overlapping windows take the generic unpack fallback.
+        last_round = ctx.base_round + count - 1
+        if last_round < self.start_round or ctx.base_round > self.end_round:
+            return bits, present
+        if not self.slot_addressed and self._spent >= self.max_corruptions:
+            return bits, present
+        return super().corrupt_window_packed(ctx, bits, present, count)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
@@ -476,6 +584,60 @@ class DeletionAdversary(Adversary):
         budget.corruptions_spent = spent
         return out
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # Deletions only ever clear plane bits, so the kernel walks the set
+        # bits of ``present`` LSB-first (= offset order, preserving the draw
+        # sequence) and never touches ``bits`` except to keep the
+        # bits-subset-of-present invariant.
+        probability = self.deletion_probability
+        if self.slot_addressed:
+            if probability <= 0.0:
+                return bits, present
+            sender, receiver = ctx.link
+            base = ctx.base_round
+            seed = self.seed
+            remaining = present
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                rng = slot_rng(seed, base + low.bit_length() - 1, sender, receiver)
+                if rng.random() < probability:
+                    bits &= ~low
+                    present ^= low
+            return bits, present
+        # The sequential mode draws once per transmitted slot even at
+        # probability 0, so the loop below must too.
+        rand = self._rng.random
+        budget = self.budget
+        if budget is None:
+            remaining = present
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                if rand() < probability:
+                    bits &= ~low
+                    present ^= low
+            return bits, present
+        seen = budget.transmissions_seen
+        spent = budget.corruptions_spent
+        fraction = budget.fraction
+        allowance = budget.absolute_allowance
+        allowance_at = budget.allowance_at
+        remaining = present
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            seen += 1
+            if rand() < probability and spent + 1 <= allowance_at(fraction, seen, allowance):
+                bits &= ~low
+                present ^= low
+                spent += 1
+        budget.transmissions_seen = seen
+        budget.corruptions_spent = spent
+        return bits, present
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
 
@@ -562,6 +724,18 @@ class CompositeAdversary(Adversary):
             out = component.corrupt_window(ctx, out)
         return out
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        # Same chaining argument as ``corrupt_window``: each component's
+        # packed kernel is bit-identical to its symbol-sequence path, so the
+        # planes can flow straight through the chain without unpacking.
+        if not self._chain_windows:
+            return super().corrupt_window_packed(ctx, bits, present, count)
+        for component in self.components:
+            bits, present = component.corrupt_window_packed(ctx, bits, present, count)
+        return bits, present
+
     def corruption_schedule(self, ctx: WindowContext, symbols: Sequence[Symbol]) -> List[Symbol]:
         if not self.slot_addressed:
             return super().corruption_schedule(ctx, symbols)  # raises
@@ -626,6 +800,17 @@ class PhaseTargetedAdaptiveAdversary(Adversary):
             return _pass_through_observing(self._budget, symbols)
         return super().corrupt_window(ctx, symbols)
 
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        if ctx.phase not in self.phases or (
+            self.max_iteration is not None and ctx.iteration > self.max_iteration
+        ):
+            if present:
+                self._budget.observe_transmissions(present.bit_count())
+            return bits, present
+        return super().corrupt_window_packed(ctx, bits, present, count)
+
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
         self._budget = NoiseBudget(fraction=self.fraction)
@@ -676,6 +861,15 @@ class RotatingLinkAdaptiveAdversary(Adversary):
         if ctx.link != tuple(self.links[self._cursor]):
             return _pass_through_observing(self._budget, symbols)
         return super().corrupt_window(ctx, symbols)
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        if ctx.link != tuple(self.links[self._cursor]):
+            if present:
+                self._budget.observe_transmissions(present.bit_count())
+            return bits, present
+        return super().corrupt_window_packed(ctx, bits, present, count)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)
@@ -728,6 +922,16 @@ class EchoSpoofingAdversary(Adversary):
         if ctx.link != target and (ctx.link[1], ctx.link[0]) != target:
             return _pass_through_observing(self._budget, symbols)
         return super().corrupt_window(ctx, symbols)
+
+    def corrupt_window_packed(
+        self, ctx: WindowContext, bits: int, present: int, count: int
+    ) -> Tuple[int, int]:
+        target = tuple(self.target)
+        if ctx.link != target and (ctx.link[1], ctx.link[0]) != target:
+            if present:
+                self._budget.observe_transmissions(present.bit_count())
+            return bits, present
+        return super().corrupt_window_packed(ctx, bits, present, count)
 
     def reset(self) -> None:
         self._rng = make_rng(self.seed)

@@ -39,7 +39,9 @@ from repro.adversary.base import Adversary, NoiselessAdversary
 from repro.analysis.metrics import RunMetrics
 from repro.analysis.potential import PotentialTrace, compute_snapshot
 from repro.core.chunking import ChunkedProtocol
+from repro.core.config import DEFAULT_ENGINE_CONFIG, EngineConfig, warn_legacy_engine_switch
 from repro.core.meeting_points import (
+    _RAW_INPUT_CAP_BITS,
     STATUS_MEETING_POINTS,
     STATUS_SIMULATE,
     MeetingPointsSession,
@@ -48,7 +50,7 @@ from repro.core.parameters import SchemeParameters, crs_oblivious_scheme
 from repro.core.randomness_exchange import run_randomness_exchange
 from repro.core.results import SimulationResult
 from repro.core.transcript import ChunkRecord, LinkTranscript
-from repro.hashing.inner_product import InnerProductHash
+from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash
 from repro.hashing.seeds import CrsSeedSource, SeedSource
 from repro.network.channel import Symbol
 from repro.network.graph import Graph, edge_key
@@ -95,6 +97,12 @@ class InteractiveCodingSimulator:
         scheme: Optional[SchemeParameters] = None,
         adversary: Optional[Adversary] = None,
         seed: int = 0,
+        config: Optional[EngineConfig] = None,
+        *,
+        fast_hashing: Optional[bool] = None,
+        batch_rounds: Optional[bool] = None,
+        merge_phases: Optional[bool] = None,
+        batched: Optional[bool] = None,
     ) -> None:
         self.protocol = protocol
         self.graph: Graph = protocol.graph
@@ -102,17 +110,41 @@ class InteractiveCodingSimulator:
         self.adversary = adversary if adversary is not None else NoiselessAdversary()
         self.seed = seed
 
-        #: Route meeting-points hashing through the batched fast path
-        #: (seeds_for_iteration + digest_many + packed digests).  Plain
-        #: attributes rather than scheme fields so trial fingerprints (and
-        #: therefore result caches) are unaffected: both settings are
-        #: bit-identical, pinned by tests/test_hashing_equivalence.py.
-        self.fast_hashing = True
+        if config is None:
+            config = DEFAULT_ENGINE_CONFIG
+        # Legacy per-switch keywords: honoured, but deprecated in favour of
+        # one EngineConfig (each spelling warns once per process).
+        legacy = {
+            "fast_hashing": fast_hashing,
+            "batch_rounds": batch_rounds,
+            "merge_phases": merge_phases,
+            "batched": batched,
+        }
+        overrides = {}
+        for name, value in legacy.items():
+            if value is None:
+                continue
+            field = "batched_transport" if name == "batched" else name
+            warn_legacy_engine_switch(name, field)
+            overrides[field] = value
+        if overrides:
+            config = config.with_overrides(**overrides)
+        #: The execution configuration this simulator was built with.  The
+        #: switches below are copied out as plain *mutable* attributes rather
+        #: than read from the frozen config (or from scheme fields) for two
+        #: reasons: trial fingerprints (and therefore result caches) must be
+        #: unaffected — every configuration is bit-identical, pinned by the
+        #: equivalence suites — and tests/benchmarks flip individual switches
+        #: on a live simulator.
+        self.config = config
+        #: Batched meeting-points hashing (seeds_for_iteration + digest_many
+        #: + packed digests) instead of per-call derivation.
+        self.fast_hashing = config.fast_hashing
         #: Engine-side window scheduling: sparse exchange_window dispatch for
         #: rounds that transmit on a handful of links, plus one-call clock
         #: advancement over provably idle round spans.  Bit-identical to the
         #: round-by-round schedule (same adversary calls in the same order).
-        self.batch_rounds = True
+        self.batch_rounds = config.batch_rounds
         #: Whole-phase round merging: when the adversary honours the
         #: slot-addressed contract
         #: (:attr:`~repro.adversary.base.Adversary.slot_addressed`), the
@@ -122,10 +154,15 @@ class InteractiveCodingSimulator:
         #: lockstep schedule in deliveries, statistics and round accounting
         #: (pinned by tests/test_phase_merge_fuzz.py); silently ignored for
         #: stateful adversaries, which truthfully report
-        #: ``slot_addressed=False``.  A plain attribute for the same
-        #: fingerprint-invisibility reason as the switches above.
-        self.merge_phases = True
-        #: The ambient observability context, captured once (also a plain
+        #: ``slot_addressed=False``.
+        self.merge_phases = config.merge_phases
+        #: Packed-plane hot path: the meeting-points exchange travels as
+        #: ``(bits, present)`` integer planes through
+        #: :meth:`~repro.network.transport.NoisyNetwork.exchange_window_packed`
+        #: (one ``corrupt_window_packed`` kernel call and O(1)-popcount
+        #: accounting per link) instead of per-slot symbol sequences.
+        self.packed = config.packed
+        #: The ambient observability context, captured once (a plain
         #: attribute, for the same fingerprint-invisibility reason).  With the
         #: default disabled context the per-run cost is one attribute read and
         #: one branch; the iteration loop body is untouched.
@@ -139,7 +176,9 @@ class InteractiveCodingSimulator:
         )
         self.hasher = InnerProductHash(self.scheme.hash_output_bits(self.graph))
         self.tree = SpanningTree(self.graph, root=0)
-        self.network = NoisyNetwork(self.graph, adversary=self.adversary)
+        self.network = NoisyNetwork(
+            self.graph, adversary=self.adversary, batched=config.batched_transport
+        )
         self.runtimes: Dict[int, PartyRuntime] = {}
         self.iterations_budget = self.scheme.iterations(self.chunked.num_real_chunks)
         self._counters: Dict[str, int] = {
@@ -276,6 +315,7 @@ class InteractiveCodingSimulator:
             "transport.sparse_dispatches": network.sparse_dispatches,
             "transport.dense_dispatches": network.dense_dispatches,
             "transport.merged_dispatches": network.merged_dispatches,
+            "transport.packed_dispatches": network.packed_dispatches,
             "transport.idle_rounds_collapsed": network.idle_rounds_collapsed,
             "transport.transmissions": stats.transmissions,
             "transport.delivered_symbols": stats.delivered_symbols,
@@ -339,9 +379,29 @@ class InteractiveCodingSimulator:
     def _setup_seed_sources(self) -> Dict[Tuple[int, int], SeedSource]:
         if self.scheme.use_crs:
             master = fork_seed(self.seed, "common-random-string")
+            # Size the per-purpose slot capacity to the largest seed any hash
+            # purpose can request: the inner-product seed for a full-width
+            # input (raw inputs are capped at _RAW_INPUT_CAP_BITS, fingerprint
+            # inputs at FINGERPRINT_BITS).  Capacity determines the slot
+            # offsets, so this is part of the documented 1.0 CRS stream break.
+            max_input_bits = (
+                _RAW_INPUT_CAP_BITS
+                if self.scheme.hash_input_mode == "raw"
+                else FINGERPRINT_BITS
+            )
+            capacity = self.hasher.seed_bits_required(max_input_bits)
             sources: Dict[Tuple[int, int], SeedSource] = {}
-            for u, v in self.graph.directed_edges():
-                sources[(u, v)] = CrsSeedSource(master_seed=master, link=edge_key(u, v))
+            for u, v in self.graph.edges:
+                # One shared source per undirected edge: both endpoints read
+                # the same CRS, so they expand the same δ-biased stream once.
+                source = CrsSeedSource(
+                    master_seed=master,
+                    link=edge_key(u, v),
+                    field_degree=self.scheme.small_bias_field_degree,
+                    slot_capacity_bits=capacity,
+                )
+                sources[(u, v)] = source
+                sources[(v, u)] = source
             self._randomness_agreed = {edge: True for edge in self.graph.edges}
             return sources
         exchange_rng = fork(self.seed, "randomness-exchange")
@@ -360,6 +420,9 @@ class InteractiveCodingSimulator:
         # One dense window per directed link: every session contributes its
         # four concatenated hashes, and the whole network-wide exchange is a
         # single batched window transmission.
+        if self.packed:
+            self._meeting_points_phase_packed(iteration)
+            return
         window = 4 * self.hasher.output_bits
         messages: Dict[Tuple[int, int], List[int]] = {}
         for runtime in self.runtimes.values():
@@ -374,26 +437,71 @@ class InteractiveCodingSimulator:
                 session = runtime.sessions[neighbor]
                 transcript = runtime.transcripts[neighbor]
                 outcome = session.process_reply(iteration, transcript, delivered[(neighbor, runtime.party)])
-                runtime.link_status[neighbor] = outcome.status
-                if outcome.truncate_to is not None:
-                    transcript.truncate_to(outcome.truncate_to)
-                    self._counters["mp_truncations"] += 1
-                if outcome.status == STATUS_MEETING_POINTS:
-                    self._counters["hash_mismatches"] += 1
-                if outcome.full_match:
-                    # Ground-truth hash-collision detection (reporting only).
-                    other = self.runtimes[neighbor].transcripts[runtime.party]
-                    if not transcript.matches_prefix(other, max(len(transcript), len(other))):
-                        self._counters["hash_collisions"] += 1
-                        recorder = self._obs.recorder
-                        if recorder is not None:
-                            recorder.emit(
-                                "hash_collision",
-                                iteration=iteration,
-                                link=link_label(runtime.party, neighbor),
-                                transcript_length=len(transcript),
-                                other_length=len(other),
-                            )
+                self._apply_mp_outcome(iteration, runtime, neighbor, transcript, outcome)
+
+    def _meeting_points_phase_packed(self, iteration: int) -> None:
+        """Phase (i) on the packed hot path.
+
+        Same exchange, carried as integer planes: each session's 4τ-bit hash
+        message is one packed integer (every slot present), the transport's
+        :meth:`~repro.network.transport.NoisyNetwork.exchange_window_packed`
+        runs one ``corrupt_window_packed`` kernel per directed link, and the
+        reply planes feed
+        :meth:`~repro.core.meeting_points.MeetingPointsSession.process_reply_packed`
+        directly — no per-slot symbol lists anywhere.  Bit-identical to the
+        symbol-sequence phase above for every stock adversary
+        (``tests/test_hashing_equivalence.py``/``tests/test_transport.py`` pin this).
+        """
+        window = 4 * self.hasher.output_bits
+        full = (1 << window) - 1
+        messages: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for runtime in self.runtimes.values():
+            for neighbor in runtime.neighbors():
+                session = runtime.sessions[neighbor]
+                messages[(runtime.party, neighbor)] = (
+                    session.build_message_packed(iteration, runtime.transcripts[neighbor]),
+                    full,
+                )
+        delivered = self.network.exchange_window_packed(
+            messages, window, "meeting_points", iteration
+        )
+        for runtime in self.runtimes.values():
+            for neighbor in runtime.neighbors():
+                session = runtime.sessions[neighbor]
+                transcript = runtime.transcripts[neighbor]
+                bits, present = delivered[(neighbor, runtime.party)]
+                outcome = session.process_reply_packed(iteration, transcript, bits, present)
+                self._apply_mp_outcome(iteration, runtime, neighbor, transcript, outcome)
+
+    def _apply_mp_outcome(
+        self,
+        iteration: int,
+        runtime: PartyRuntime,
+        neighbor: int,
+        transcript: LinkTranscript,
+        outcome,
+    ) -> None:
+        """Shared per-link bookkeeping of one meeting-points outcome."""
+        runtime.link_status[neighbor] = outcome.status
+        if outcome.truncate_to is not None:
+            transcript.truncate_to(outcome.truncate_to)
+            self._counters["mp_truncations"] += 1
+        if outcome.status == STATUS_MEETING_POINTS:
+            self._counters["hash_mismatches"] += 1
+        if outcome.full_match:
+            # Ground-truth hash-collision detection (reporting only).
+            other = self.runtimes[neighbor].transcripts[runtime.party]
+            if not transcript.matches_prefix(other, max(len(transcript), len(other))):
+                self._counters["hash_collisions"] += 1
+                recorder = self._obs.recorder
+                if recorder is not None:
+                    recorder.emit(
+                        "hash_collision",
+                        iteration=iteration,
+                        link=link_label(runtime.party, neighbor),
+                        transcript_length=len(transcript),
+                        other_length=len(other),
+                    )
 
     # -------------------------------------------------- status flags (lines 6-13) --
 
@@ -952,6 +1060,9 @@ def simulate(
     scheme: Optional[SchemeParameters] = None,
     adversary: Optional[Adversary] = None,
     seed: int = 0,
+    config: Optional[EngineConfig] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator and run it once."""
-    return InteractiveCodingSimulator(protocol, scheme=scheme, adversary=adversary, seed=seed).run()
+    return InteractiveCodingSimulator(
+        protocol, scheme=scheme, adversary=adversary, seed=seed, config=config
+    ).run()

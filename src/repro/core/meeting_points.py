@@ -50,10 +50,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.transcript import LinkTranscript
-from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash, fingerprint_bits
+from repro.hashing.inner_product import FINGERPRINT_BITS, InnerProductHash
 from repro.hashing.seeds import SeedLayout, SeedSource, seed_layout
 from repro.network.channel import Symbol
-from repro.utils.bitstring import bits_to_int, bytes_to_bits, int_to_bits
+from repro.utils.bitstring import int_to_bits, unpack_symbols
 
 STATUS_SIMULATE = "simulate"
 STATUS_MEETING_POINTS = "meeting points"
@@ -142,17 +142,41 @@ class MeetingPointsSession:
 
     def build_message(self, iteration: int, transcript: LinkTranscript) -> List[int]:
         """Advance ``k`` and produce this phase's outgoing hash message."""
+        length = self._advance(transcript)
+        if self.fast_hashing:
+            self.fast_builds += 1
+            combined = self._build_message_fast(iteration, transcript, length)
+            return int_to_bits(combined, 4 * self.hasher.output_bits)
+        self.reference_builds += 1
+        return self._build_message_reference(iteration, transcript, length)
+
+    def build_message_packed(self, iteration: int, transcript: LinkTranscript) -> int:
+        """Packed variant of :meth:`build_message`: the same wire bits as one
+        integer (bit ``i`` of the result is wire bit ``i``)."""
+        length = self._advance(transcript)
+        if self.fast_hashing:
+            self.fast_builds += 1
+            return self._build_message_fast(iteration, transcript, length)
+        self.reference_builds += 1
+        value = 0
+        for offset, bit in enumerate(self._build_message_reference(iteration, transcript, length)):
+            if bit:
+                value |= 1 << offset
+        return value
+
+    def _advance(self, transcript: LinkTranscript) -> int:
+        """Advance ``k`` and recompute this phase's meeting points."""
         self.k += 1
         self._k_tilde = 1 << (self.k - 1).bit_length()
         length = transcript.num_chunks
         self._mp1 = self._k_tilde * (length // self._k_tilde)
         self._mp2 = max(self._mp1 - self._k_tilde, 0)
+        return length
 
-        if self.fast_hashing:
-            self.fast_builds += 1
-            return self._build_message_fast(iteration, transcript, length)
-
-        self.reference_builds += 1
+    def _build_message_reference(
+        self, iteration: int, transcript: LinkTranscript, length: int
+    ) -> List[int]:
+        """The original per-call derivation (``fast_hashing=False``)."""
         self._own_counter_hash = self._hash_counter(iteration, self.k)
         self._own_full_hash = self._hash_prefix(iteration, transcript, length)
         self._own_mp1_hash = self._hash_prefix(iteration, transcript, self._mp1)
@@ -166,7 +190,7 @@ class MeetingPointsSession:
 
     def _build_message_fast(
         self, iteration: int, transcript: LinkTranscript, length: int
-    ) -> List[int]:
+    ) -> int:
         """The batched path: one seed derivation, one multi-value digest pass."""
         hasher = self.hasher
         tau = hasher.output_bits
@@ -208,13 +232,12 @@ class MeetingPointsSession:
         self._own_full_hash = full_digest
         self._own_mp1_hash = mp1_digest
         self._own_mp2_hash = mp2_digest
-        combined = (
+        return (
             counter_digest
             | (full_digest << tau)
             | (mp1_digest << (2 * tau))
             | (mp2_digest << (3 * tau))
         )
-        return int_to_bits(combined, 4 * tau)
 
     def _layout_for(self, prefix_input_bits: int) -> SeedLayout:
         layout = self._layouts.get(prefix_input_bits)
@@ -246,7 +269,49 @@ class MeetingPointsSession:
             their_full = self._clean_group(received, tau, tau)
             their_mp1 = self._clean_group(received, 2 * tau, tau)
             their_mp2 = self._clean_group(received, 3 * tau, tau)
+        return self._decide(iteration, their_counter, their_full, their_mp1, their_mp2)
 
+    def process_reply_packed(
+        self,
+        iteration: int,
+        transcript: LinkTranscript,
+        bits: int,
+        present: int,
+    ) -> MeetingPointsOutcome:
+        """Packed variant of :meth:`process_reply`.
+
+        ``(bits, present)`` are the delivered planes of the 4τ-slot reply
+        window (:func:`~repro.utils.bitstring.pack_symbols` convention).  A
+        hash group is usable only when *all* of its ``present`` bits are set,
+        exactly like the ``None``-scan of the symbol path.
+        """
+        tau = self.hasher.output_bits
+        if not self.fast_hashing:
+            # The reference path stores digests as bit tuples; route through
+            # the symbol-sequence extraction to compare like with like.
+            return self.process_reply(
+                iteration, transcript, unpack_symbols(bits, present, 4 * tau)
+            )
+        mask = (1 << tau) - 1
+        groups: List[Optional[int]] = []
+        for index in range(4):
+            start = index * tau
+            group_mask = mask << start
+            if present & group_mask != group_mask:
+                groups.append(None)
+            else:
+                groups.append((bits >> start) & mask)
+        return self._decide(iteration, groups[0], groups[1], groups[2], groups[3])
+
+    def _decide(
+        self,
+        iteration: int,
+        their_counter: Optional[_Digest],
+        their_full: Optional[_Digest],
+        their_mp1: Optional[_Digest],
+        their_mp2: Optional[_Digest],
+    ) -> MeetingPointsOutcome:
+        """The shared decision logic: compare digests, update the search state."""
         outcome = MeetingPointsOutcome(status=STATUS_MEETING_POINTS)
         outcome.k_agreed = their_counter is not None and their_counter == self._own_counter_hash
         recorder = self.recorder
@@ -365,11 +430,20 @@ class MeetingPointsSession:
     def _prefix_hash_input(
         self, transcript: LinkTranscript, num_chunks: int
     ) -> Tuple[int, int]:
-        """The packed hash input and its width for one transcript prefix."""
-        serialized = transcript.serialize_prefix(num_chunks)
-        if self.hash_input_mode == "raw" and len(serialized) * 8 <= _RAW_INPUT_CAP_BITS:
-            return bits_to_int(bytes_to_bits(serialized)), _RAW_INPUT_CAP_BITS
-        return fingerprint_bits(serialized), FINGERPRINT_BITS
+        """The packed hash input and its width for one transcript prefix.
+
+        Both values come from the transcript's per-prefix cache: the packed
+        raw form is ``int.from_bytes(serialized, "little")`` (bit-identical
+        to the historical ``bits_to_int(bytes_to_bits(...))`` loop) and the
+        fingerprint is the same BLAKE2b compression as before, computed once
+        per (transcript state, prefix length) instead of per exchange.
+        """
+        if (
+            self.hash_input_mode == "raw"
+            and transcript.prefix_byte_length(num_chunks) * 8 <= _RAW_INPUT_CAP_BITS
+        ):
+            return transcript.prefix_raw(num_chunks), _RAW_INPUT_CAP_BITS
+        return transcript.prefix_fingerprint(num_chunks), FINGERPRINT_BITS
 
     def _hash_counter(self, iteration: int, value: int) -> Tuple[int, ...]:
         seed = self.seed_source.seed_for(

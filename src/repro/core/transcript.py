@@ -13,6 +13,14 @@ The transcript also stores, for every reception, the absolute protocol round
 and the sending neighbour, because re-simulating later chunks (possibly after
 a rewind) replays the party's protocol logic against everything it has
 received so far.
+
+Serialisation is kept *packed and incremental*: every appended chunk is
+serialised exactly once into a growing byte buffer, and the per-prefix
+values the meeting-points hashing consumes (BLAKE2b fingerprints, packed raw
+integers) are cached per prefix length.  ``records`` stays a public mutable
+list for tests and tooling; every cached accessor revalidates the cache
+against the live list (an identity scan) before serving, so direct mutation
+is safe — it just pays a rebuild.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.hashing.inner_product import fingerprint_bits
 from repro.network.channel import Symbol
 
 
@@ -58,6 +67,15 @@ class LinkTranscript:
         self.owner = owner
         self.neighbor = neighbor
         self.records: List[ChunkRecord] = []
+        # Incremental serialisation cache: one bytes fragment per record, the
+        # concatenated buffer, cumulative byte offsets, and the id() of each
+        # record the cache was built from (the mutation guard).
+        self._cache_ids: List[int] = []
+        self._cache_parts: List[bytes] = []
+        self._cache_offsets: List[int] = [0]
+        self._cache_buffer = bytearray()
+        #: Cached per-prefix hash inputs, keyed by ("fp" | "raw", num_chunks).
+        self._prefix_values: Dict[Tuple[str, int], int] = {}
 
     # -- length & mutation ----------------------------------------------------------
 
@@ -70,6 +88,11 @@ class LinkTranscript:
 
     def append(self, record: ChunkRecord) -> None:
         self.records.append(record)
+        if len(self._cache_ids) == len(self.records) - 1:
+            # The cache was current before the append: extend it in place.
+            # (Prefixes shorter than the new length are unchanged, so the
+            # cached per-prefix values all stay valid.)
+            self._cache_append(record)
 
     def truncate_to(self, num_chunks: int) -> int:
         """Keep only the first ``num_chunks`` chunks; returns how many were dropped."""
@@ -77,20 +100,103 @@ class LinkTranscript:
             raise ValueError("cannot truncate to a negative length")
         dropped = max(0, len(self.records) - num_chunks)
         del self.records[num_chunks:]
+        if dropped and len(self._cache_ids) > len(self.records):
+            self._cache_truncate(len(self.records))
         return dropped
 
     def truncate_last(self, count: int = 1) -> int:
         """Drop the last ``count`` chunks (no-op beyond the current length)."""
         return self.truncate_to(max(0, len(self.records) - count))
 
+    # -- serialisation cache --------------------------------------------------------
+
+    def _cache_append(self, record: ChunkRecord) -> None:
+        part = record.serialize().encode("ascii")
+        self._cache_ids.append(id(record))
+        self._cache_parts.append(part)
+        self._cache_buffer += part
+        self._cache_offsets.append(len(self._cache_buffer))
+
+    def _cache_truncate(self, num_chunks: int) -> None:
+        del self._cache_ids[num_chunks:]
+        del self._cache_parts[num_chunks:]
+        del self._cache_offsets[num_chunks + 1:]
+        del self._cache_buffer[self._cache_offsets[num_chunks]:]
+        values = self._prefix_values
+        if values:
+            for key in [key for key in values if key[1] > num_chunks]:
+                del values[key]
+
+    def _sync_cache(self) -> None:
+        """Revalidate the cache against the live ``records`` list.
+
+        ``records`` is public and tests mutate it directly; an identity scan
+        (cheap — one C-level list build and compare) detects any divergence
+        and rebuilds from the longest still-valid prefix.
+        """
+        records = self.records
+        ids = self._cache_ids
+        if len(ids) == len(records) and ids == [id(record) for record in records]:
+            return
+        keep = 0
+        for cached_id, record in zip(ids, records):
+            if cached_id != id(record):
+                break
+            keep += 1
+        self._cache_truncate(keep)
+        for record in records[keep:]:
+            self._cache_append(record)
+
     # -- serialization & comparison ------------------------------------------------------
 
     def serialize_prefix(self, num_chunks: Optional[int] = None) -> bytes:
         """Canonical byte serialisation of the first ``num_chunks`` chunks."""
+        self._sync_cache()
         if num_chunks is None:
             num_chunks = len(self.records)
         num_chunks = max(0, min(num_chunks, len(self.records)))
-        return "".join(record.serialize() for record in self.records[:num_chunks]).encode("ascii")
+        return bytes(self._cache_buffer[:self._cache_offsets[num_chunks]])
+
+    def prefix_byte_length(self, num_chunks: int) -> int:
+        """Byte length of :meth:`serialize_prefix` without materialising it."""
+        self._sync_cache()
+        num_chunks = max(0, min(num_chunks, len(self.records)))
+        return self._cache_offsets[num_chunks]
+
+    def prefix_fingerprint(self, num_chunks: int) -> int:
+        """Cached :func:`~repro.hashing.inner_product.fingerprint_bits` of a prefix.
+
+        Equal to ``fingerprint_bits(self.serialize_prefix(num_chunks))`` —
+        the hot meeting-points path reads it from the per-prefix cache
+        instead of re-serialising and re-hashing every consistency phase.
+        """
+        self._sync_cache()
+        num_chunks = max(0, min(num_chunks, len(self.records)))
+        key = ("fp", num_chunks)
+        value = self._prefix_values.get(key)
+        if value is None:
+            end = self._cache_offsets[num_chunks]
+            value = fingerprint_bits(bytes(self._cache_buffer[:end]))
+            self._prefix_values[key] = value
+        return value
+
+    def prefix_raw(self, num_chunks: int) -> int:
+        """Cached little-endian packed integer of a serialised prefix.
+
+        Equal to ``int.from_bytes(self.serialize_prefix(num_chunks),
+        "little")``, which is bit-for-bit the historical
+        ``bits_to_int(bytes_to_bits(...))`` packing (LSB-first within each
+        byte, byte 0 lowest).
+        """
+        self._sync_cache()
+        num_chunks = max(0, min(num_chunks, len(self.records)))
+        key = ("raw", num_chunks)
+        value = self._prefix_values.get(key)
+        if value is None:
+            end = self._cache_offsets[num_chunks]
+            value = int.from_bytes(self._cache_buffer[:end], "little")
+            self._prefix_values[key] = value
+        return value
 
     def matches_prefix(self, other: "LinkTranscript", num_chunks: Optional[int] = None) -> bool:
         """Ground-truth agreement check against the facing transcript."""

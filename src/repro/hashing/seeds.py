@@ -17,28 +17,39 @@ underlying randomness, which is exactly the property the analysis needs: a
 corrupted randomness exchange desynchronises every subsequent hash comparison
 on that link (the ``E \\ E'`` case of Section 5).
 
+Since the 2.0 API break both concrete sources share **one expansion
+contract** (:class:`SlotAddressedSeedSource`): seeds are fixed-capacity slots
+carved out of a δ-biased string expanded by
+:meth:`~repro.hashing.small_bias.SmallBiasGenerator.packed_slots`, with the
+slot of ``(iteration, purpose)`` at a deterministic, layout-independent
+offset.  :class:`ExchangedSeedSource` expands the seed it received over the
+wire; :class:`CrsSeedSource` derives its per-link generator seed from the CRS
+and the canonical link label, then expands it exactly the same way.  The
+previous ``CrsSeedSource`` (per-purpose ``random.Random`` re-seeding through
+``utils.rng.fork``) is retired — a **documented behaviour break**: CRS-scheme
+bit streams and trial fingerprints differ from every pre-2.0 version, which
+the package major version and the runtime cache/key schema bumps gate.
+
 Two access paths exist:
 
+* the **batched fast path**: :meth:`SeedSource.seeds_for_iteration` — the
+  contract's one required method — derives every slot of an interned
+  :class:`SeedLayout` in one expansion pass;
 * the **per-call reference path**: :meth:`SeedSource.seed_for` derives one
-  (iteration, purpose) slot at a time — this is the original (pre-fast-path)
-  derivation and its bit streams are frozen;
-* the **batched fast path**: :meth:`SeedSource.seeds_for_iteration` derives
-  every slot of an interned :class:`SeedLayout` in one expansion pass.  The
-  native overrides (one incremental label hash per iteration for the CRS
-  source, one contiguous δ-biased read per iteration for the exchanged
-  source) produce *exactly* the same bits as the per-call path — pinned by
-  ``tests/test_hashing_equivalence.py``.
+  (iteration, purpose) slot at a time.  The concrete sources keep a per-slot
+  override whose bit streams the equivalence suite pins against the batched
+  path (``tests/test_hashing_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import abc
 import hashlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.hashing.small_bias import SmallBiasGenerator
-from repro.utils.rng import FORK_MULTIPLIER, FORK_SEED_MASK, fork, make_rng, random_bitstring_int
 
 #: Purposes for which per-iteration seeds are drawn, with fixed indices so
 #: both endpoints carve identical ranges out of the expanded string.
@@ -86,24 +97,53 @@ def seed_layout(**lengths_by_purpose: int) -> SeedLayout:
 
 
 class SeedSource(abc.ABC):
-    """Produces per-(iteration, purpose) hash seeds for one link."""
+    """Produces per-(iteration, purpose) hash seeds for one link.
+
+    The unified expansion contract has one required method:
+    :meth:`seeds_for_iteration`.  Everything else (:meth:`seed_for`, the
+    deprecated :meth:`fork`) has a default implementation in terms of it.
+    """
 
     @abc.abstractmethod
-    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
-        """Return ``length_bits`` seed bits (packed) for the given slot."""
-
     def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
         """All of an iteration's seed slots in one call.
 
         Returns one packed integer per :data:`SEED_PURPOSES` entry (``None``
-        for slots the layout leaves empty).  This reference implementation
-        simply loops over :meth:`seed_for`; subclasses override it with a
+        for slots the layout leaves empty).  The (callable) default body loops
+        over :meth:`seed_for`; the concrete sources override it with a
         single-expansion-pass derivation that is bit-identical.
         """
         return tuple(
             self.seed_for(iteration, purpose, length) if length else None
             for purpose, length in zip(SEED_PURPOSES, layout.lengths)
         )
+
+    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
+        """Return ``length_bits`` seed bits (packed) for one slot.
+
+        Default: carve the single requested slot out of
+        :meth:`seeds_for_iteration`.  The concrete sources override this with
+        the frozen per-slot reference derivation.
+        """
+        index = self._purpose_index(purpose)
+        seeds = self.seeds_for_iteration(iteration, seed_layout(**{purpose: length_bits}))
+        value = seeds[index]
+        assert value is not None  # non-zero length requested
+        return value
+
+    def fork(self, iteration: int, purpose: str, length_bits: int) -> int:
+        """Deprecated pre-2.0 spelling of :meth:`seed_for`.
+
+        Kept as a thin compatibility wrapper for one release cycle; see the
+        migration note in ``docs/architecture.md``.
+        """
+        warnings.warn(
+            "SeedSource.fork() is deprecated; call seed_for() (or the batched "
+            "seeds_for_iteration()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.seed_for(iteration, purpose, length_bits)
 
     @staticmethod
     def _purpose_index(purpose: str) -> int:
@@ -113,137 +153,24 @@ class SeedSource(abc.ABC):
             raise ValueError(f"unknown seed purpose {purpose!r}; known: {SEED_PURPOSES}") from exc
 
 
-@dataclass
-class CrsSeedSource(SeedSource):
-    """Seeds derived from a common random string.
+class SlotAddressedSeedSource(SeedSource):
+    """Shared machinery of the unified expansion contract.
 
-    ``master_seed`` models the CRS; both endpoints of a link construct the
-    source with the same master seed and the same canonical link, so they
-    derive identical uniform bits.  The adversary never gets access to the
-    object, which models obliviousness to the CRS.
-
-    The per-call path forks a child generator per (iteration, purpose) label;
-    the batched path hashes the shared ``crs|link|iteration|`` label prefix
-    once per iteration and extends it per purpose with cheap incremental
-    updates — the resulting child seeds (and therefore the bits) are exactly
-    the per-call ones, because SHA-256 of the concatenated label does not
-    care how the label was chunked.
+    Concrete subclasses provide (in ``__post_init__``) a
+    :class:`SmallBiasGenerator` as ``_generator`` plus the bookkeeping
+    attributes; this class implements the deterministic slot addressing —
+    ``(iteration * len(SEED_PURPOSES) + purpose_index) * slot_capacity_bits``
+    — and the two access paths on top of it.  The addressing depends only on
+    (iteration, purpose), never on the layout, so the batched and per-call
+    paths read identical bits by construction.
     """
 
-    master_seed: int
-    link: Tuple[int, int]
-    #: Cache-miss slot derivations performed by this source (``repro.obs``).
-    derivations: int = 0
-    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
-    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
-        default_factory=dict, repr=False
-    )
-
-    def __post_init__(self) -> None:
-        # Incremental SHA-256 state of the constant label prefix; copied (not
-        # recomputed) for every iteration's derivation.
-        self._link_prefix_hash = hashlib.sha256(f"crs|{self.link}|".encode("utf-8"))
-
-    def seed_for(self, iteration: int, purpose: str, length_bits: int) -> int:
-        self._purpose_index(purpose)
-        key = (iteration, purpose, length_bits)
-        if key not in self._cache:
-            rng = fork(self.master_seed, f"crs|{self.link}|{iteration}|{purpose}")
-            self._cache[key] = random_bitstring_int(rng, length_bits)
-            self.derivations += 1
-        return self._cache[key]
-
-    def seeds_for_iteration(self, iteration: int, layout: SeedLayout) -> Tuple[Optional[int], ...]:
-        batch_key = (iteration, layout)
-        cached = self._batch_cache.get(batch_key)
-        if cached is not None:
-            return cached
-        iteration_hash = self._link_prefix_hash.copy()
-        iteration_hash.update(f"{iteration}|".encode("utf-8"))
-        master = self.master_seed
-        cache = self._cache
-        seeds: List[Optional[int]] = []
-        for purpose, length in zip(SEED_PURPOSES, layout.lengths):
-            if not length:
-                seeds.append(None)
-                continue
-            key = (iteration, purpose, length)
-            value = cache.get(key)
-            if value is None:
-                purpose_hash = iteration_hash.copy()
-                purpose_hash.update(purpose.encode("utf-8"))
-                label_hash = int.from_bytes(purpose_hash.digest()[:8], "big")
-                child_seed = (master * FORK_MULTIPLIER + label_hash) & FORK_SEED_MASK
-                value = cache[key] = random_bitstring_int(make_rng(child_seed), length)
-                self.derivations += 1
-            seeds.append(value)
-        result = tuple(seeds)
-        self._batch_cache[batch_key] = result
-        return result
-
-
-@dataclass
-class ExchangedSeedSource(SeedSource):
-    """Seeds carved out of a δ-biased string expanded from a short link seed.
-
-    ``link_seed`` is the (decoded) short seed this endpoint holds after the
-    randomness exchange; if the exchange was corrupted the two endpoints hold
-    different seeds and their hash comparisons will keep failing, which is the
-    behaviour Section 5 accounts for.
-
-    ``slot_capacity_bits`` is the fixed budget of δ-biased bits reserved per
-    (iteration, purpose) slot; the same deterministic layout is used by both
-    endpoints, so no coordination is needed.
-
-    The batched path reads all of an iteration's slots in one sequential pass
-    over the δ-biased string (:meth:`SmallBiasGenerator.packed_slots`) —
-    identical bits to per-slot reads because the slot offsets are the same
-    deterministic function of (iteration, purpose) on both paths.
-    """
-
-    link_seed: int
-    field_degree: int = 64
-    slot_capacity_bits: int = 4096
-    #: ``False`` expands the δ-biased string through the original per-bit
-    #: field-multiplication loop (the pre-fast-path reference); ``True`` uses
-    #: table-driven stepping.  Bit-identical either way.
-    table_expansion: bool = True
-    #: Cache-miss slot derivations performed by this source (``repro.obs``).
-    derivations: int = 0
-    _generator: SmallBiasGenerator = field(init=False)
-    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
-    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
-        default_factory=dict, repr=False
-    )
-
-    def __post_init__(self) -> None:
-        self._generator = SmallBiasGenerator(
-            seed_bits=self.link_seed,
-            field_degree=self.field_degree,
-            table_stepping=self.table_expansion,
-        )
-
-    def share_generator_with(self, other: "ExchangedSeedSource") -> None:
-        """Share the expansion machinery (and derived slots) with a sibling.
-
-        The two endpoints of a link whose randomness exchange succeeded hold
-        the same ``link_seed`` and therefore expand the same δ-biased string;
-        sharing the generator lets them share the lazily-built multiplication
-        tables, and sharing the slot caches means each (iteration, purpose)
-        slot is expanded once per link instead of once per endpoint.  Only
-        valid for equal seeds (the derived values are identical by
-        construction, so aliasing the caches is observationally invisible).
-        """
-        if (other.link_seed, other.field_degree) != (self.link_seed, self.field_degree):
-            raise ValueError("generator sharing requires identical link seeds and field degrees")
-        if (other.slot_capacity_bits, other.table_expansion) != (
-            self.slot_capacity_bits,
-            self.table_expansion,
-        ):
-            raise ValueError("generator sharing requires identical slot layouts and expansion paths")
-        self._generator = other._generator
-        self._cache = other._cache
-        self._batch_cache = other._batch_cache
+    # Provided by the dataclass subclasses.
+    slot_capacity_bits: int
+    derivations: int
+    _generator: SmallBiasGenerator
+    _cache: Dict[Tuple[int, str, int], int]
+    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]]
 
     def _slot_offset(self, iteration: int, purpose_index: int) -> int:
         return (iteration * len(SEED_PURPOSES) + purpose_index) * self.slot_capacity_bits
@@ -291,3 +218,112 @@ class ExchangedSeedSource(SeedSource):
         result = tuple(seeds)
         self._batch_cache[batch_key] = result
         return result
+
+
+@dataclass
+class CrsSeedSource(SlotAddressedSeedSource):
+    """Seeds carved out of a δ-biased string derived from a common random string.
+
+    ``master_seed`` models the CRS; both endpoints of a link construct the
+    source with the same master seed and the same canonical link, so they
+    derive the identical per-link generator seed (a SHA-256 digest of the
+    CRS and the link label) and therefore expand the identical δ-biased
+    string.  The adversary never gets access to the object, which models
+    obliviousness to the CRS.
+
+    Expansion and slot addressing are exactly those of
+    :class:`ExchangedSeedSource` (the unified contract): one
+    :meth:`~repro.hashing.small_bias.SmallBiasGenerator.packed_slots` pass
+    per iteration.  Because both directions of a link derive the same string,
+    the engine shares a single instance per undirected edge.
+    """
+
+    master_seed: int
+    link: Tuple[int, int]
+    field_degree: int = 64
+    slot_capacity_bits: int = 4096
+    #: ``False`` expands the δ-biased string through the original per-bit
+    #: field-multiplication loop (the expansion reference); ``True`` uses the
+    #: LFSR stream fast path.  Bit-identical either way.
+    table_expansion: bool = True
+    #: Cache-miss slot derivations performed by this source (``repro.obs``).
+    derivations: int = 0
+    _generator: SmallBiasGenerator = field(init=False)
+    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        label = f"crs|{self.master_seed}|{self.link}|link-seed".encode("utf-8")
+        digest = hashlib.sha256(label).digest()
+        link_seed = int.from_bytes(digest, "little") & ((1 << (2 * self.field_degree)) - 1)
+        self._generator = SmallBiasGenerator(
+            seed_bits=link_seed,
+            field_degree=self.field_degree,
+            table_stepping=self.table_expansion,
+        )
+
+
+@dataclass
+class ExchangedSeedSource(SlotAddressedSeedSource):
+    """Seeds carved out of a δ-biased string expanded from a short link seed.
+
+    ``link_seed`` is the (decoded) short seed this endpoint holds after the
+    randomness exchange; if the exchange was corrupted the two endpoints hold
+    different seeds and their hash comparisons will keep failing, which is the
+    behaviour Section 5 accounts for.
+
+    ``slot_capacity_bits`` is the fixed budget of δ-biased bits reserved per
+    (iteration, purpose) slot; the same deterministic layout is used by both
+    endpoints, so no coordination is needed.
+
+    The batched path reads all of an iteration's slots in one sequential pass
+    over the δ-biased string (:meth:`SmallBiasGenerator.packed_slots`) —
+    identical bits to per-slot reads because the slot offsets are the same
+    deterministic function of (iteration, purpose) on both paths.
+    """
+
+    link_seed: int
+    field_degree: int = 64
+    slot_capacity_bits: int = 4096
+    #: ``False`` expands the δ-biased string through the original per-bit
+    #: field-multiplication loop (the pre-fast-path reference); ``True`` uses
+    #: the LFSR stream fast path.  Bit-identical either way.
+    table_expansion: bool = True
+    #: Cache-miss slot derivations performed by this source (``repro.obs``).
+    derivations: int = 0
+    _generator: SmallBiasGenerator = field(init=False)
+    _cache: Dict[Tuple[int, str, int], int] = field(default_factory=dict)
+    _batch_cache: Dict[Tuple[int, SeedLayout], Tuple[Optional[int], ...]] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        self._generator = SmallBiasGenerator(
+            seed_bits=self.link_seed,
+            field_degree=self.field_degree,
+            table_stepping=self.table_expansion,
+        )
+
+    def share_generator_with(self, other: "ExchangedSeedSource") -> None:
+        """Share the expansion machinery (and derived slots) with a sibling.
+
+        The two endpoints of a link whose randomness exchange succeeded hold
+        the same ``link_seed`` and therefore expand the same δ-biased string;
+        sharing the generator lets them share the lazily-built stream cache,
+        and sharing the slot caches means each (iteration, purpose) slot is
+        expanded once per link instead of once per endpoint.  Only valid for
+        equal seeds (the derived values are identical by construction, so
+        aliasing the caches is observationally invisible).
+        """
+        if (other.link_seed, other.field_degree) != (self.link_seed, self.field_degree):
+            raise ValueError("generator sharing requires identical link seeds and field degrees")
+        if (other.slot_capacity_bits, other.table_expansion) != (
+            self.slot_capacity_bits,
+            self.table_expansion,
+        ):
+            raise ValueError("generator sharing requires identical slot layouts and expansion paths")
+        self._generator = other._generator
+        self._cache = other._cache
+        self._batch_cache = other._batch_cache

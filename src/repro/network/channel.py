@@ -232,6 +232,45 @@ class ChannelStats:
             link_corruptions = self.corruptions_by_link
             link_corruptions[ctx.link] = link_corruptions.get(ctx.link, 0) + corruptions
 
+    def record_window_packed(
+        self,
+        ctx: WindowContext,
+        sent_bits: int,
+        sent_present: int,
+        received_bits: int,
+        received_present: int,
+    ) -> None:
+        """Packed-plane variant of :meth:`record_window` — O(1) popcounts.
+
+        ``(bits, present)`` planes follow the
+        :func:`~repro.utils.bitstring.pack_symbols` convention (``bits`` is a
+        subset of ``present``; a cleared ``present`` bit is silence).  The
+        totals and per-phase/per-link breakdowns are identical to the
+        symbol-sequence path: a substitution is a slot present on both sides
+        with differing bits, a deletion is present→absent, an insertion is
+        absent→present.
+        """
+        transmissions = sent_present.bit_count()
+        delivered = received_present.bit_count()
+        both = sent_present & received_present
+        substitutions = ((sent_bits ^ received_bits) & both).bit_count()
+        deletions = (sent_present & ~received_present).bit_count()
+        insertions = (received_present & ~sent_present).bit_count()
+        self.delivered_symbols += delivered
+        if transmissions:
+            self.transmissions += transmissions
+            phase_counts = self.transmissions_by_phase
+            phase_counts[ctx.phase] = phase_counts.get(ctx.phase, 0) + transmissions
+        corruptions = substitutions + deletions + insertions
+        if corruptions:
+            self.substitutions += substitutions
+            self.deletions += deletions
+            self.insertions += insertions
+            phase_corruptions = self.corruptions_by_phase
+            phase_corruptions[ctx.phase] = phase_corruptions.get(ctx.phase, 0) + corruptions
+            link_corruptions = self.corruptions_by_link
+            link_corruptions[ctx.link] = link_corruptions.get(ctx.link, 0) + corruptions
+
     def snapshot(self) -> Dict[str, float]:
         """A plain-dict summary convenient for reports and benchmarks."""
         return {

@@ -11,9 +11,16 @@ receiver.  It
   of the coding scheme transmits a fixed-length burst of symbols on many
   links in parallel, one symbol per round per direction.
 
-Three transmission paths exist:
+Four transmission paths exist:
 
-* the **batched fast path** (default): ``exchange_window`` makes one
+* the **packed fast path** (default on the engine hot path):
+  ``exchange_window_packed`` carries each directed link's window as a
+  ``(bits, present)`` integer plane pair (the
+  :func:`~repro.utils.bitstring.pack_symbols` convention) end to end — one
+  :meth:`~repro.adversary.base.Adversary.corrupt_window_packed` call and one
+  O(1)-popcount :meth:`~repro.network.channel.ChannelStats.record_window_packed`
+  pass per link, with no per-slot symbol objects anywhere;
+* the **batched path**: ``exchange_window`` makes one
   :meth:`~repro.adversary.base.Adversary.corrupt_window` call per directed
   link and one :meth:`~repro.network.channel.ChannelStats.record_window`
   bookkeeping pass per window — no per-slot contexts, calls or dictionary
@@ -46,6 +53,7 @@ from repro.network.channel import ChannelStats, Symbol, TransmissionContext, Win
 from repro.network.graph import Graph
 from repro.obs.context import get_obs
 from repro.obs.recorder import link_label
+from repro.utils.bitstring import unpack_symbols
 
 _VALID_SYMBOLS = (0, 1, None)
 
@@ -72,6 +80,7 @@ class NoisyNetwork:
     sparse_dispatches: int = 0
     dense_dispatches: int = 0
     merged_dispatches: int = 0
+    packed_dispatches: int = 0
     idle_rounds_collapsed: int = 0
 
     def __post_init__(self) -> None:
@@ -267,6 +276,107 @@ class NoisyNetwork:
                         link_label(*link), phase, iteration, base_round, window, delivered
                     )
             received[link] = delivered
+        self.advance_rounds(window_rounds)
+        return received
+
+    def exchange_window_packed(
+        self,
+        messages: Dict[Tuple[int, int], Tuple[int, int]],
+        window_rounds: int,
+        phase: str,
+        iteration: int = -1,
+        sparse: bool = False,
+    ) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Packed-plane variant of :meth:`exchange_window`.
+
+        Each directed link's window travels as one ``(bits, present)``
+        integer plane pair following the
+        :func:`~repro.utils.bitstring.pack_symbols` convention — slot ``i``
+        carries bit ``i`` of ``bits`` iff bit ``i`` of ``present`` is set —
+        instead of a symbol sequence.  Wire behaviour, statistics, clock and
+        the ``sparse`` contract are identical to :meth:`exchange_window`
+        (``tests/test_transport.py`` pins the bit-identity for all stock
+        adversaries); what changes is the cost model: validation is two mask
+        checks per link, corruption is one
+        :meth:`~repro.adversary.base.Adversary.corrupt_window_packed` call,
+        and accounting is O(1) popcounts.
+        """
+        if window_rounds < 0:
+            raise ValueError("window_rounds must be non-negative")
+        adversary = self.adversary
+        corrupt_window_packed = adversary.corrupt_window_packed
+        may_insert = adversary.may_insert
+        stats = self.stats
+        recorder = self.recorder
+        base_round = self.current_round
+        omit_silent = sparse and not may_insert
+        self.windows_exchanged += 1
+        self.packed_dispatches += 1
+        if omit_silent:
+            self.sparse_dispatches += 1
+        else:
+            self.dense_dispatches += 1
+        if messages:
+            edge_set = self.graph.directed_edge_set()
+            for link, (bits, present) in messages.items():
+                if link not in edge_set:
+                    raise ValueError(
+                        f"message keyed on unknown link {link}: not a directed edge of the network"
+                    )
+                if bits & ~present:
+                    raise ValueError(
+                        f"message on link {link} sets bits outside its present mask"
+                    )
+                if present >> window_rounds:
+                    sender, receiver = link
+                    raise ValueError(
+                        f"message on link ({sender}, {receiver}) has symbols beyond "
+                        f"the {window_rounds}-round window"
+                    )
+        received: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        if omit_silent:
+            # Same canonical directed-edge order as the batched sparse
+            # dispatch, for the same reason: stateful adversaries must see
+            # the corruption calls in the sequence a full scan would produce.
+            link_index = self.graph.directed_edge_index()
+            links: Sequence[Tuple[int, int]] = sorted(messages, key=link_index.__getitem__)
+        else:
+            links = self.graph.directed_edges()
+        for link in links:
+            outgoing = messages.get(link)
+            if outgoing is None:
+                if not may_insert:
+                    if not omit_silent:
+                        received[link] = (0, 0)
+                    continue
+                bits = present = 0
+            else:
+                bits, present = outgoing
+            ctx = WindowContext(link=link, phase=phase, iteration=iteration, base_round=base_round)
+            dbits, dpresent = corrupt_window_packed(ctx, bits, present, window_rounds)
+            if dbits == bits and dpresent == present:
+                # Untouched window: only the transmission counters can
+                # change, and an all-silent window cannot even do that.
+                if present:
+                    stats.record_window_packed(ctx, bits, present, dbits, dpresent)
+            else:
+                if dbits & ~dpresent:
+                    raise ValueError(
+                        f"adversary delivered bits outside the present mask on link {link}"
+                    )
+                if dpresent >> window_rounds:
+                    raise ValueError(
+                        f"adversary delivered symbols beyond the "
+                        f"{window_rounds}-round window on link {link}"
+                    )
+                stats.record_window_packed(ctx, bits, present, dbits, dpresent)
+                if recorder is not None:
+                    recorder.record_window(
+                        link_label(*link), phase, iteration, base_round,
+                        unpack_symbols(bits, present, window_rounds),
+                        unpack_symbols(dbits, dpresent, window_rounds),
+                    )
+            received[link] = (dbits, dpresent)
         self.advance_rounds(window_rounds)
         return received
 

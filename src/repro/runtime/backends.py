@@ -38,7 +38,13 @@ from repro.runtime.spec import TrialSpec
 
 
 def execute_trial(spec: TrialSpec) -> RunMetrics:
-    """Run one trial: build a fresh adversary from the trial seed and simulate."""
+    """Run one trial: build a fresh adversary from the trial seed and simulate.
+
+    ``spec.engine`` (when set) selects the execution configuration.  It rides
+    inside the spec — not the ambient runtime context — so worker processes,
+    which never inherit the parent's context, run the exact configuration the
+    parent resolved.  Results are bit-identical whichever configuration runs.
+    """
     obs = get_obs()
     recorder = obs.recorder
     if recorder is not None:
@@ -50,14 +56,22 @@ def execute_trial(spec: TrialSpec) -> RunMetrics:
         with tracer.trial(seed=spec.seed, scheme=spec.scheme.name) as span:
             adversary = spec.adversary_factory(spec.seed)
             result = simulate(
-                spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed
+                spec.workload.protocol,
+                scheme=spec.scheme,
+                adversary=adversary,
+                seed=spec.seed,
+                config=spec.engine,
             )
             if span is not None:
                 span.set(success=result.success, iterations=result.iterations_run)
     else:
         adversary = spec.adversary_factory(spec.seed)
         result = simulate(
-            spec.workload.protocol, scheme=spec.scheme, adversary=adversary, seed=spec.seed
+            spec.workload.protocol,
+            scheme=spec.scheme,
+            adversary=adversary,
+            seed=spec.seed,
+            config=spec.engine,
         )
     if recorder is not None:
         metrics = result.metrics

@@ -27,7 +27,11 @@ from repro.obs import get_obs
 from repro.runtime.spec import TrialKey
 
 #: Bump when the on-disk entry format changes incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: 2 = the 2.0.0 CRS seed-derivation break: entries written by pre-break
+#: versions may hold CRS results the current code would compute differently,
+#: so they are rejected wholesale on load (skipped, never served) and swept by
+#: ``repro cache compact``.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass

@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterator, Optional
 
+from repro.core.config import EngineConfig
 from repro.runtime.backends import ExecutionBackend, SerialBackend
 from repro.runtime.cache import ResultCache
 from repro.runtime.store import RunStore
@@ -32,11 +33,19 @@ _UNSET = UNSET
 
 @dataclass(frozen=True)
 class RuntimeContext:
-    """How trials execute when the caller does not say otherwise."""
+    """How trials execute when the caller does not say otherwise.
+
+    ``engine`` is the ambient :class:`~repro.core.config.EngineConfig` for
+    trials whose spec does not carry one (``None`` means the engine default).
+    Engine configuration selects execution paths that are pinned
+    bit-identical, so it is fingerprint-invisible: it never alters cache keys
+    or results, only how fast they are computed.
+    """
 
     backend: ExecutionBackend
     cache: Optional[ResultCache] = None
     store: Optional[RunStore] = None
+    engine: Optional[EngineConfig] = None
 
 
 _active = RuntimeContext(backend=SerialBackend())
@@ -51,11 +60,12 @@ def set_default_runtime(
     backend: Optional[ExecutionBackend] = None,
     cache=_UNSET,
     store=_UNSET,
+    engine=_UNSET,
 ) -> RuntimeContext:
     """Replace fields of the process-wide default context.
 
     ``backend=None`` keeps the current backend; pass ``cache=None`` /
-    ``store=None`` explicitly to clear those fields.
+    ``store=None`` / ``engine=None`` explicitly to clear those fields.
     """
     global _active
     updates = {}
@@ -65,6 +75,8 @@ def set_default_runtime(
         updates["cache"] = cache
     if store is not _UNSET:
         updates["store"] = store
+    if engine is not _UNSET:
+        updates["engine"] = engine
     _active = replace(_active, **updates)
     return _active
 
@@ -74,11 +86,12 @@ def use_runtime(
     backend: Optional[ExecutionBackend] = None,
     cache=_UNSET,
     store=_UNSET,
+    engine=_UNSET,
 ) -> Iterator[RuntimeContext]:
     """Temporarily override the runtime context (restored on exit)."""
     global _active
     previous = _active
     try:
-        yield set_default_runtime(backend=backend, cache=cache, store=store)
+        yield set_default_runtime(backend=backend, cache=cache, store=store, engine=engine)
     finally:
         _active = previous

@@ -39,16 +39,20 @@ import json
 import random
 import weakref
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.adversary.base import Adversary
+from repro.core.config import EngineConfig
 from repro.core.parameters import SchemeParameters
 
 AdversaryFactory = Callable[[int], Adversary]
 
 #: Bump when the canonical-payload rules change incompatibly, so stale
 #: on-disk cache entries are never matched against new fingerprints.
-TRIAL_KEY_SCHEMA = 1
+#: 2 = the 2.0.0 CRS seed-derivation break (see ``repro.hashing.seeds``):
+#: CRS-scheme trials compute different transcripts than under schema 1, so
+#: every pre-break fingerprint must miss.
+TRIAL_KEY_SCHEMA = 2
 
 #: Maximum recursion depth of the canonicalisation; deeper structures are
 #: summarised by type name and mark the key unstable.
@@ -77,6 +81,12 @@ class TrialSpec:
     scheme: SchemeParameters
     adversary_factory: AdversaryFactory
     seed: int
+    #: Execution configuration (``None`` = ambient runtime default).  Engine
+    #: configuration only selects among bit-identical execution paths, so it
+    #: is deliberately **excluded** from :func:`fingerprint_trial`'s payload:
+    #: a result computed under any configuration is interchangeable with the
+    #: same trial under any other (asserted by ``tests/test_engine_config.py``).
+    engine: Optional[EngineConfig] = None
 
 
 @dataclass(frozen=True)
@@ -309,9 +319,16 @@ def build_trial_specs(
     scheme: SchemeParameters,
     adversary_factory: AdversaryFactory,
     seeds: List[int],
+    engine: Optional[EngineConfig] = None,
 ) -> List[TrialSpec]:
     """Expand one experimental cell into its per-seed trial specs."""
     return [
-        TrialSpec(workload=workload, scheme=scheme, adversary_factory=adversary_factory, seed=seed)
+        TrialSpec(
+            workload=workload,
+            scheme=scheme,
+            adversary_factory=adversary_factory,
+            seed=seed,
+            engine=engine,
+        )
         for seed in seeds
     ]

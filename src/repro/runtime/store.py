@@ -51,7 +51,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.analysis.metrics import AggregateMetrics, RunMetrics
 from repro.obs import get_obs
 
-#: Bump when the run-document layout changes incompatibly.
+#: Bump when the run-document layout changes incompatibly.  Deliberately NOT
+#: bumped for the 2.0.0 CRS break: stored runs are historical observations,
+#: never re-served as results, so pre-break history — including
+#: ``.bench-runs`` trend lines — stays browsable and diffable.  Only the result *cache* (CACHE_SCHEMA_VERSION)
+#: and trial fingerprints (TRIAL_KEY_SCHEMA) reject pre-break entries.
 STORE_SCHEMA_VERSION = 1
 
 _RUN_PREFIX = "run-"
@@ -214,11 +218,18 @@ class RunStore:
         if not self.root.is_dir():
             return  # never create the store root just to cache a listing
         temp = self._index_path().with_name(f".{_INDEX_NAME}.{os.getpid()}")
-        temp.write_text(
-            json.dumps({"schema": STORE_SCHEMA_VERSION, "runs": runs}, sort_keys=True),
-            encoding="utf-8",
-        )
-        os.replace(temp, self._index_path())
+        try:
+            temp.write_text(
+                json.dumps({"schema": STORE_SCHEMA_VERSION, "runs": runs}, sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(temp, self._index_path())
+        except OSError:
+            # A concurrent gc may sweep the temp file (it matches the
+            # stale-temp pattern) or the store root between our existence
+            # check and the rename.  The index is only a cache: drop the
+            # write and let the next list_runs rebuild it.
+            return
         self._index_memo = (self._stat_token(self._index_path()), dict(runs))
 
     def _index_put(self, run_id: str, summary: Optional[Dict[str, object]]) -> None:

@@ -13,7 +13,7 @@ All helpers are pure functions; no module-level mutable state.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 Bit = int
 Symbol = Optional[int]  # 0, 1 or None (the "*" / no-message symbol)
@@ -118,3 +118,48 @@ def longest_common_prefix_length(a: Sequence, b: Sequence) -> int:
         if a[i] != b[i]:
             return i
     return n
+
+
+def pack_symbols(symbols: Sequence[Symbol]) -> Tuple[int, int]:
+    """Pack channel symbols into two bit planes ``(bits, present)``.
+
+    Slot ``i`` carries a symbol iff bit ``i`` of ``present`` is set; its value
+    is then bit ``i`` of ``bits``.  Silence (``None``, the paper's ``*``) is a
+    cleared ``present`` bit.  The representation maintains the invariant
+    ``bits & ~present == 0``, which is what makes the O(1) popcount formulas
+    of the packed transport path (substitutions, deletions, insertions per
+    window) well defined.
+
+    >>> pack_symbols([1, None, 0, 1])
+    (9, 13)
+    """
+    bits = 0
+    present = 0
+    for index, symbol in enumerate(symbols):
+        if symbol is None:
+            continue
+        if symbol == 1:
+            bits |= 1 << index
+            present |= 1 << index
+        elif symbol == 0:
+            present |= 1 << index
+        else:
+            raise ValueError(f"invalid channel symbol {symbol!r} at index {index}")
+    return bits, present
+
+
+def unpack_symbols(bits: int, present: int, count: int) -> List[Symbol]:
+    """Inverse of :func:`pack_symbols`: expand ``count`` slots back to symbols.
+
+    >>> unpack_symbols(9, 13, 4)
+    [1, None, 0, 1]
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if bits < 0 or present < 0:
+        raise ValueError("bit planes must be non-negative")
+    if present >> count:
+        raise ValueError(f"present plane has bits beyond the {count}-slot window")
+    if bits & ~present:
+        raise ValueError("bits plane must be a subset of the present plane")
+    return [(bits >> i) & 1 if (present >> i) & 1 else None for i in range(count)]

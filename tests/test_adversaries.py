@@ -560,6 +560,7 @@ class TestCheckContract:
         assert report.adversary == adversary.name
         assert report.slot_addressed is adversary.slot_addressed
         assert "batched-equivalence" in report.laws
+        assert "packed-equivalence" in report.laws
         if adversary.slot_addressed:
             assert {"purity", "slot-decomposability", "path-agreement"} <= set(report.laws)
         else:
@@ -589,6 +590,10 @@ class TestCheckContract:
                 return [self.corrupt(None, sent) for sent in symbols]
 
             corrupt_window = corruption_schedule
+            # Drop the parent's native packed kernel (it replays the *stock*
+            # corrupt, not ours) so packed-equivalence holds via the fallback
+            # and the purity law is what must catch the lie.
+            corrupt_window_packed = Adversary.corrupt_window_packed
 
         lying = LyingAdversary(corruption_probability=0.0, seed=0)
         lying.slot_addressed = True
@@ -610,10 +615,11 @@ class TestCheckContract:
 
     def test_rejects_schedule_disagreeing_with_corrupt(self):
         class DisagreeingAdversary(NoiselessAdversary):
-            # Restore the per-slot fallback so the batch path replays the
-            # divergent ``corrupt`` (batched-equivalence holds) and only the
-            # schedule/corrupt disagreement is left to catch.
+            # Restore the per-slot fallbacks so the batched and packed paths
+            # both replay the divergent ``corrupt`` (their equivalence laws
+            # hold) and only the schedule/corrupt disagreement is left to catch.
             corrupt_window = Adversary.corrupt_window
+            corrupt_window_packed = Adversary.corrupt_window_packed
 
             def corrupt(self, ctx, sent):
                 return None if sent == 1 else sent
@@ -636,6 +642,24 @@ class TestCheckContract:
         divergent = DivergentBatchAdversary(deletion_probability=0.5, seed=1)
         with pytest.raises(ContractViolation, match="batched-equivalence"):
             check_contract(divergent)
+
+    def test_rejects_packed_divergence(self):
+        class DivergentPackedAdversary(DeletionAdversary):
+            def corrupt_window_packed(self, ctx, bits, present, count):
+                return bits, present  # skips the per-slot RNG draws
+
+        divergent = DivergentPackedAdversary(deletion_probability=0.5, seed=1)
+        with pytest.raises(ContractViolation, match="packed-equivalence"):
+            check_contract(divergent)
+
+    def test_rejects_packed_plane_invariant_break(self):
+        class LeakyPlanesAdversary(NoiselessAdversary):
+            def corrupt_window_packed(self, ctx, bits, present, count):
+                # Claims a 1-bit on a slot it simultaneously marks silent.
+                return (~present) & ((1 << count) - 1), present
+
+        with pytest.raises(ContractViolation, match="packed-equivalence"):
+            check_contract(LeakyPlanesAdversary())
 
     @pytest.mark.parametrize(
         "builder", list(STOCK_CONTRACT_CASES.values()), ids=list(STOCK_CONTRACT_CASES)

@@ -13,11 +13,15 @@ from repro.utils.bitstring import (
     hamming_distance,
     int_to_bits,
     longest_common_prefix_length,
+    pack_symbols,
     parity,
     symbol_to_bit,
     symbols_to_bits,
+    unpack_symbols,
     xor_bits,
 )
+
+symbol_windows = st.lists(st.sampled_from([0, 1, None]), max_size=96)
 
 
 class TestBitsIntConversion:
@@ -104,3 +108,97 @@ class TestSymbolsAndPrefix:
         assert a[:k] == b[:k]
         if k < min(len(a), len(b)):
             assert a[k] != b[k]
+
+
+class TestPackedSymbolPlanes:
+    """The packed ``(bits, present)`` plane pair the hot transport path runs on."""
+
+    def test_pack_symbols_doc_example(self):
+        assert pack_symbols([1, None, 0, 1]) == (9, 13)
+        assert unpack_symbols(9, 13, 4) == [1, None, 0, 1]
+
+    def test_pack_symbols_rejects_non_symbols(self):
+        with pytest.raises(ValueError):
+            pack_symbols([0, 2])
+
+    def test_unpack_symbols_rejects_invariant_breaks(self):
+        with pytest.raises(ValueError):
+            unpack_symbols(2, 1, 2)  # bits outside the present plane
+        with pytest.raises(ValueError):
+            unpack_symbols(0, 4, 2)  # present bit beyond the window
+        with pytest.raises(ValueError):
+            unpack_symbols(0, 0, -1)
+
+    @given(symbol_windows)
+    def test_roundtrip_and_invariant(self, symbols):
+        bits, present = pack_symbols(symbols)
+        assert bits & ~present == 0
+        assert present >> len(symbols) == 0
+        assert unpack_symbols(bits, present, len(symbols)) == symbols
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    def test_roundtrip_from_planes(self, a, b):
+        present = a | b
+        bits = a  # a ⊆ a|b by construction, so the invariant holds
+        assert pack_symbols(unpack_symbols(bits, present, 64)) == (bits, present)
+
+    @given(symbol_windows)
+    def test_popcount_statistics_match_symbol_counts(self, symbols):
+        """The O(1)-popcount accounting of the packed transport path counts
+        exactly what a per-slot walk over the symbols would."""
+        bits, present = pack_symbols(symbols)
+        assert present.bit_count() == sum(1 for s in symbols if s is not None)
+        assert bits.bit_count() == sum(1 for s in symbols if s == 1)
+        # Substitution mask against a reference delivery plane pair.
+        delivered = [None if s is None else 1 - s for s in symbols]
+        dbits, dpresent = pack_symbols(delivered)
+        assert dpresent == present
+        flips = (bits ^ dbits) & present
+        assert flips.bit_count() == sum(1 for s in symbols if s is not None)
+
+
+class TestPackedTranscriptRoundTrip:
+    """Packed transcript/digest accessors vs the historical unpacked path.
+
+    ``LinkTranscript.prefix_raw`` / ``prefix_fingerprint`` serve the
+    meeting-points hashing from packed integers; both must stay bit-for-bit
+    what the pre-packed code computed from ``serialize_prefix`` via
+    ``bits_to_int(bytes_to_bits(...))`` / ``fingerprint_bits``.
+    """
+
+    @staticmethod
+    def _transcript(chunks):
+        from repro.core.transcript import ChunkRecord, LinkTranscript
+
+        transcript = LinkTranscript(owner=0, neighbor=1)
+        for index, view in enumerate(chunks):
+            transcript.append(ChunkRecord(chunk_index=index, link_view=tuple(view)))
+        return transcript
+
+    @given(st.lists(st.lists(st.sampled_from([0, 1, None]), max_size=12), max_size=8))
+    def test_prefix_raw_matches_unpacked_packing(self, chunks):
+        transcript = self._transcript(chunks)
+        for prefix in range(len(chunks) + 1):
+            serialized = transcript.serialize_prefix(prefix)
+            assert transcript.prefix_raw(prefix) == bits_to_int(bytes_to_bits(serialized))
+            assert transcript.prefix_raw(prefix) == int.from_bytes(serialized, "little")
+
+    @given(st.lists(st.lists(st.sampled_from([0, 1, None]), max_size=12), min_size=1, max_size=6))
+    def test_prefix_fingerprint_matches_direct_digest(self, chunks):
+        from repro.hashing.inner_product import fingerprint_bits
+
+        transcript = self._transcript(chunks)
+        for prefix in range(len(chunks) + 1):
+            expected = fingerprint_bits(transcript.serialize_prefix(prefix))
+            assert transcript.prefix_fingerprint(prefix) == expected
+
+    @given(st.lists(st.lists(st.sampled_from([0, 1, None]), max_size=10), min_size=2, max_size=6),
+           st.integers(0, 5))
+    def test_packed_caches_survive_truncation(self, chunks, keep):
+        transcript = self._transcript(chunks)
+        full = [transcript.prefix_raw(i) for i in range(len(chunks) + 1)]
+        transcript.truncate_to(keep)
+        kept = min(keep, len(chunks))
+        assert transcript.prefix_raw(kept) == full[kept]
+        serialized = transcript.serialize_prefix(kept)
+        assert transcript.prefix_raw(kept) == int.from_bytes(serialized, "little")

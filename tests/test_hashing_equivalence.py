@@ -275,11 +275,13 @@ def test_session_fast_path_is_bit_identical_to_reference(source_kind, hash_input
         hasher = InnerProductHash(tau)
 
         def build_source():
+            # Raw-mode hash inputs need τ·4096-bit seeds, so give both
+            # sources slots big enough to hold them (the unified expansion
+            # contract sizes slots identically for CRS and exchanged seeds);
+            # the exchanged seed fills both AGHP field elements (x and y
+            # non-degenerate).
             if source_kind == "crs":
-                return CrsSeedSource(master_seed=4242, link=(0, 1))
-            # Raw-mode hash inputs need τ·4096-bit seeds, so give the
-            # exchanged source slots big enough to hold them; the seed fills
-            # both AGHP field elements (x and y non-degenerate).
+                return CrsSeedSource(master_seed=4242, link=(0, 1), slot_capacity_bits=1 << 16)
             return ExchangedSeedSource(
                 link_seed=0x9D1C_37A2_55B0_4E11_6F08_42D3_91AC_7E65, slot_capacity_bits=1 << 16
             )

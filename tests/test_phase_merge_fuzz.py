@@ -10,12 +10,16 @@ counters, the same round clock and the same adversary end state (RNG stream
 positions, budget counters) as the per-round lockstep schedule.
 
 This suite pins that claim differentially: hypothesis draws a workload
-(scheme x topology x stock adversary x seed x observability mode), runs it
-twice — once with ``merge_phases=False`` (the per-round reference) and once
-with ``merge_phases=True`` — and requires every observable to match exactly.
-One case uses a deliberately non-slot-addressed adversary to pin the
-fallback: the switch must be silently ignored (zero merged dispatches) and
-the run trivially identical.
+(scheme x topology x stock adversary x seed x observability mode x packed
+flag), runs it twice — once on the reference profile (``merge_phases=False``,
+``packed=False``: per-round schedule, symbol-sequence transport) and once on
+the fast profile (``merge_phases=True`` plus the drawn ``packed`` mode, which
+routes the meeting-points exchange through ``exchange_window_packed``'s
+``(bits, present)`` plane pairs) — and requires every observable to match
+exactly.  One case uses a deliberately non-slot-addressed adversary to pin
+the fallback: the merge switch must be silently ignored (zero merged
+dispatches) while the packed transport, which is legal for *every* adversary
+(``corrupt_window_packed`` is contract-pinned bit-identical), still runs.
 
 The observability mode covers the flight recorder too: a run under an
 ambient :class:`~repro.obs.recorder.FlightRecorder` must stay bit-identical
@@ -57,6 +61,7 @@ from repro.adversary.strategies import (
     LinkTargetedAdversary,
     RandomNoiseAdversary,
 )
+from repro.core.config import DEFAULT_ENGINE_CONFIG
 from repro.core.engine import InteractiveCodingSimulator
 from repro.core.parameters import scheme_by_name
 from repro.network.topologies import (
@@ -157,10 +162,15 @@ def _workload(topology_name, seed):
 _OBS_MODES = ("dark", "metrics", "recorder")
 
 
-def _run(scheme_name, topology_name, adversary_name, seed, merge, obs_mode="dark"):
-    """One full simulation; returns (simulator, result, recorder-or-None)."""
+def _run(scheme_name, topology_name, adversary_name, seed, merge, obs_mode="dark", packed=True):
+    """One full simulation; returns (simulator, result, recorder-or-None).
+
+    ``merge`` / ``packed`` select the execution profile via
+    :class:`~repro.core.config.EngineConfig`; the reference runs of this suite
+    pass both as ``False`` (per-round, symbol-sequence transport)."""
     graph, protocol = _workload(topology_name, seed)
     adversary = _ADVERSARIES[adversary_name](graph, seed)
+    config = DEFAULT_ENGINE_CONFIG.with_overrides(merge_phases=merge, packed=packed)
     # A ring big enough to never drop: event-multiset comparison between the
     # two schedules needs the complete record (retention under overflow is
     # emission-order-dependent, which is exactly what differs).
@@ -174,9 +184,9 @@ def _run(scheme_name, topology_name, adversary_name, seed, merge, obs_mode="dark
         )
     with scope:
         simulator = InteractiveCodingSimulator(
-            protocol, scheme=scheme_by_name(scheme_name), adversary=adversary, seed=seed
+            protocol, scheme=scheme_by_name(scheme_name), adversary=adversary, seed=seed,
+            config=config,
         )
-        simulator.merge_phases = merge
         result = simulator.run()
     return simulator, result, recorder
 
@@ -246,16 +256,28 @@ class TestPhaseMergeDifferential:
         adversary_name=st.sampled_from(sorted(_ADVERSARIES)),
         seed=st.integers(0, 10_000),
         obs_mode=st.sampled_from(_OBS_MODES),
+        packed=st.booleans(),
     )
     def test_merged_schedule_is_bit_identical(
-        self, scheme_name, topology_name, adversary_name, seed, obs_mode
+        self, scheme_name, topology_name, adversary_name, seed, obs_mode, packed
     ):
-        reference_run = _run(scheme_name, topology_name, adversary_name, seed, False, obs_mode)
-        merged_run = _run(scheme_name, topology_name, adversary_name, seed, True, obs_mode)
+        reference_run = _run(
+            scheme_name, topology_name, adversary_name, seed, False, obs_mode, packed=False
+        )
+        merged_run = _run(
+            scheme_name, topology_name, adversary_name, seed, True, obs_mode, packed=packed
+        )
         _assert_bit_identical(reference_run, merged_run)
         if obs_mode == "recorder":
             _assert_same_recording(reference_run[2], merged_run[2])
         merged_sim = merged_run[0]
+        assert reference_run[0].network.packed_dispatches == 0
+        if packed:
+            # The packed meeting-points exchange runs for every adversary —
+            # corrupt_window_packed is contract-pinned bit-identical.
+            assert merged_sim.network.packed_dispatches > 0
+        else:
+            assert merged_sim.network.packed_dispatches == 0
         if adversary_name == "stateful-fallback":
             # slot_addressed is truthfully False: the switch must be ignored.
             assert not merged_sim.adversary.slot_addressed

@@ -35,7 +35,7 @@ def _run(extra_args):
 def test_profile_hotpath_prints_top_frames():
     result = _run([])
     assert result.returncode == 0, result.stderr
-    assert "batched transport" in result.stdout
+    assert "packed transport" in result.stdout
     assert "trial:" in result.stdout
     assert "cumulative time" in result.stdout  # the pstats header
     assert "engine.py" in result.stdout  # at least one repo frame in the table
@@ -47,6 +47,23 @@ def test_profile_hotpath_per_slot_path():
     assert result.returncode == 0, result.stderr
     assert "per-slot transport" in result.stdout
     assert "tottime" in result.stdout
+
+
+@pytest.mark.smoke
+def test_profile_hotpath_no_packed_path():
+    result = _run(["--no-packed"])
+    assert result.returncode == 0, result.stderr
+    assert "batched transport" in result.stdout
+
+
+@pytest.mark.smoke
+def test_profile_hotpath_compare_mode():
+    result = _run(["--compare"])
+    assert result.returncode == 0, result.stderr
+    assert "default   (packed fast paths):" in result.stdout
+    assert "reference (everything off):" in result.stdout
+    assert "speedup:" in result.stdout
+    assert "bit-identical results: True" in result.stdout
 
 
 @pytest.mark.smoke

@@ -339,6 +339,60 @@ def test_batched_path_is_bit_identical_to_per_slot_path(adversary_name):
         )
 
 
+@pytest.mark.parametrize("adversary_name", sorted(STOCK_ADVERSARIES))
+def test_packed_path_is_bit_identical_to_symbol_path(adversary_name):
+    """The packed-plane guarantee: exchange_window_packed delivers the same
+    corruption mask, stats, clock and adversary end state as exchange_window
+    for every stock adversary (the pin exchange_window_packed's docstring
+    promises)."""
+    from repro.utils.bitstring import pack_symbols, unpack_symbols
+
+    builder = STOCK_ADVERSARIES[adversary_name]
+    for trial in range(8):
+        layout_rng = make_rng(9000 * trial + 13)
+        graph = _random_graph(layout_rng)
+        pattern_seed = layout_rng.randint(0, 2**31)
+        packed_adversary = builder(trial, graph, make_rng(pattern_seed))
+        symbol_adversary = builder(trial, graph, make_rng(pattern_seed))
+
+        packed_network = NoisyNetwork(graph, adversary=packed_adversary)
+        symbol_network = NoisyNetwork(graph, adversary=symbol_adversary)
+
+        traffic_seed = layout_rng.randint(0, 2**31)
+        traffic_rng = make_rng(traffic_seed)
+        for step in range(5):
+            window_rounds = traffic_rng.choice([0, 1, 1, 2, 5, 9])
+            phase = traffic_rng.choice(_PHASES)
+            sparse = traffic_rng.random() < 0.3
+            messages = _random_messages(traffic_rng, graph, window_rounds)
+            # The packed caller sends plane pairs; ragged windows pad with
+            # silence exactly like exchange_window does internally.
+            packed_messages = {
+                link: pack_symbols(symbols) for link, symbols in messages.items()
+            }
+            delivered_packed = packed_network.exchange_window_packed(
+                packed_messages, window_rounds, phase, step, sparse=sparse
+            )
+            delivered_symbols = symbol_network.exchange_window(
+                messages, window_rounds, phase, step, sparse=sparse
+            )
+            assert set(delivered_packed) == set(delivered_symbols)
+            for link, (bits, present) in delivered_packed.items():
+                assert bits & ~present == 0, f"{adversary_name}: plane invariant broken"
+                assert unpack_symbols(bits, present, window_rounds) == list(
+                    delivered_symbols[link]
+                ), f"{adversary_name}: deliveries diverged (trial {trial}, step {step}, {link})"
+        assert packed_network.stats == symbol_network.stats, (
+            f"{adversary_name}: stats diverged (trial {trial})"
+        )
+        assert packed_network.current_round == symbol_network.current_round
+        assert _adversary_state(packed_adversary) == _adversary_state(symbol_adversary), (
+            f"{adversary_name}: adversary state diverged (trial {trial})"
+        )
+        assert packed_network.packed_dispatches == 5
+        assert symbol_network.packed_dispatches == 0
+
+
 def test_batched_flag_routes_through_per_slot_path():
     """`NoisyNetwork.batched = False` makes exchange_window use the reference path."""
     graph = line_topology(3)
